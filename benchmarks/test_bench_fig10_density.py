@@ -1,0 +1,27 @@
+"""Fig. 10: impact of gateway density on the number of online gateways."""
+
+from repro.analysis import figures
+
+
+def test_bench_fig10_density(benchmark, evaluation_scale):
+    scale = figures.EvaluationScale(
+        num_clients=evaluation_scale.num_clients,
+        num_gateways=evaluation_scale.num_gateways,
+        duration_s=min(evaluation_scale.duration_s, 24 * 3600.0),
+        runs_per_scheme=1,
+        step_s=max(evaluation_scale.step_s, 2.0),
+        seed=evaluation_scale.seed,
+    )
+    densities = (1, 2, 4, 6, 8, 10)
+    data = benchmark.pedantic(
+        figures.figure10, kwargs=dict(densities=densities, scale=scale), rounds=1, iterations=1
+    )
+    print("\n=== Fig. 10: mean online gateways at peak vs. gateway density ===")
+    for density, online in zip(data["mean_available_gateways"], data["online_gateways"]):
+        print(f"density {density:4.0f}: {online:5.1f} online gateways")
+    online = data["online_gateways"]
+    # Paper: more neighbours in range -> fewer gateways need to stay online.
+    # (With one backup gateway required, density 2 leaves little room to
+    # move, so the paper-level 35 % drop appears from density ~4 onward.)
+    assert online[-1] < online[0]
+    assert min(online[2:]) < 0.9 * online[0]

@@ -1,0 +1,16 @@
+"""Fig. 12: testbed replay — online APs under BH2 vs. SoI (15:00-15:30)."""
+
+from repro.analysis import figures
+from repro.traces.synthetic import generate_crawdad_like_trace
+
+
+def test_bench_fig12_testbed(benchmark):
+    trace = generate_crawdad_like_trace()
+    data = benchmark.pedantic(figures.figure12, args=(trace,), rounds=1, iterations=1)
+    print("\n=== Fig. 12: online APs in the 9-gateway testbed replay ===")
+    for name, series in data.items():
+        sleeping = 9 - series["mean_online"]
+        print(f"{name:4s} mean online={series['mean_online']:.2f}  mean sleeping={sleeping:.2f} "
+              f"(paper: BH2 sleeps 5.46, SoI sleeps 3.72)")
+    # Paper: BH2 puts more of the 9 gateways to sleep than plain SoI.
+    assert data["BH2"]["mean_online"] <= data["SoI"]["mean_online"] + 0.3

@@ -1,0 +1,22 @@
+"""Fig. 14: crosstalk speedup as lines in the bundle are powered off."""
+
+from repro.analysis import figures
+
+
+def test_bench_fig14_crosstalk(benchmark):
+    data = benchmark.pedantic(figures.figure14, kwargs=dict(num_sequences=3), rounds=1, iterations=1)
+    print("\n=== Fig. 14: average per-line speedup vs. inactive lines ===")
+    for label, curve in data.items():
+        series = ", ".join(
+            f"{n}:{s:.1f}%" for n, s in zip(curve["inactive_lines"], curve["mean_speedup_percent"])
+        )
+        print(f"{label:44s} baseline={curve['baseline_mbps']:.1f} Mbps  {series}")
+    fixed62 = data["profile 62 Mbps; fixed loop length 600 m"]
+    # Paper: ~1.1-1.2 % per deactivated line, ~13.6 % at half off, ~25 % at 75 % off.
+    assert 38.0 <= fixed62["baseline_mbps"] <= 50.0
+    at12 = fixed62["mean_speedup_percent"][fixed62["inactive_lines"].index(12)]
+    at20 = fixed62["mean_speedup_percent"][fixed62["inactive_lines"].index(20)]
+    assert 8.0 <= at12 <= 20.0
+    assert at20 > at12
+    fixed30 = data["profile 30 Mbps; fixed loop length 600 m"]
+    assert 25.0 <= fixed30["baseline_mbps"] <= 33.0

@@ -1,0 +1,16 @@
+"""Fig. 15 (appendix): attenuation distribution across DSLAM line cards."""
+
+from repro.analysis import figures
+
+
+def test_bench_fig15_attenuation(benchmark):
+    data = benchmark.pedantic(figures.figure15, rounds=1, iterations=1)
+    print("\n=== Fig. 15: per-line-card attenuation distributions ===")
+    for card, mean, std, quartiles in zip(
+        data["card_ids"], data["mean_db"], data["std_db"], data["quartiles_db"]
+    ):
+        print(f"card {card:2d}: mean={mean:5.1f} dB  std={std:5.1f} dB  quartiles={[round(q, 1) for q in quartiles]}")
+    # Paper: all cards show essentially the same Gaussian distribution, which
+    # justifies the random assignment of gateways to DSLAM ports.
+    assert data["means_are_similar"]
+    assert len(data["card_ids"]) == 14

@@ -1,0 +1,18 @@
+"""Fig. 2: daily average and median utilisation of a 10 K ADSL population."""
+
+from repro.analysis import figures
+
+
+def test_bench_fig2_adsl_utilization(benchmark):
+    data = benchmark.pedantic(figures.figure2, rounds=1, iterations=1)
+    print("\n=== Fig. 2: ADSL utilisation (percent of plan speed) ===")
+    print("hour  avg_down  med_down  avg_up  med_up")
+    for hour in range(0, 24, 2):
+        print(f"{hour:4d}  {data['avg_downlink_percent'][hour]:8.2f}  "
+              f"{data['median_downlink_percent'][hour]:8.4f}  "
+              f"{data['avg_uplink_percent'][hour]:6.2f}  "
+              f"{data['median_uplink_percent'][hour]:6.4f}")
+    # Paper: the average utilisation does not exceed ~9 % even at the peak
+    # hour, and the median is far below the average.
+    assert max(data["avg_downlink_percent"]) < 12.0
+    assert max(data["median_downlink_percent"]) < max(data["avg_downlink_percent"]) / 5.0

@@ -1,0 +1,18 @@
+"""Fig. 3: average downlink utilisation of the wireless trace on 6 Mbps links."""
+
+from repro.analysis import figures
+from repro.traces.synthetic import generate_crawdad_like_trace
+
+
+def test_bench_fig3_ap_utilization(benchmark):
+    trace = generate_crawdad_like_trace()
+    data = benchmark.pedantic(figures.figure3, args=(trace,), rounds=1, iterations=1)
+    print("\n=== Fig. 3: average AP downlink utilisation (percent of 6 Mbps) ===")
+    for hour in range(0, 24, 2):
+        print(f"{hour:4d}h  {data['avg_utilization_percent'][hour]:6.2f}%")
+    peak = max(data["avg_utilization_percent"])
+    trough = min(data["avg_utilization_percent"][2:7])
+    # Paper: a pronounced office-hours peak of a few percent with a very
+    # quiet early morning.
+    assert 3.0 <= peak <= 12.0
+    assert trough < 0.2 * peak

@@ -1,0 +1,17 @@
+"""Fig. 4: fraction of the peak-hour idle time per inter-packet-gap bin."""
+
+from repro.analysis import figures
+from repro.traces.synthetic import generate_crawdad_like_trace
+
+
+def test_bench_fig4_interpacket_gaps(benchmark):
+    trace = generate_crawdad_like_trace()
+    data = benchmark.pedantic(figures.figure4, args=(trace,), rounds=1, iterations=1)
+    print(f"\n=== Fig. 4: idle-time share per gap bin (peak hour = {data['hour']}h) ===")
+    for label, percent in zip(data["labels"], data["percent_of_idle_time"]):
+        if percent > 0.5:
+            print(f"{label:>6s}s : {percent:5.1f}%")
+    print(f"idle time in gaps < 60 s: {100 * data['fraction_below_60s']:.1f}%  (paper: ~82%)")
+    # Paper: the bulk of the idle time is made of gaps shorter than the 60 s
+    # idle timeout, which is what defeats plain Sleep-on-Idle.
+    assert data["fraction_below_60s"] > 0.6

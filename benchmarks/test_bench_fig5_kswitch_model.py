@@ -1,0 +1,28 @@
+"""Fig. 5: probability that the l-th line card sleeps (Eq. 2 and simulation)."""
+
+from repro.analysis import figures
+
+
+def test_bench_fig5_kswitch_model(benchmark):
+    data = benchmark.pedantic(
+        figures.figure5,
+        kwargs=dict(k_values=(2, 4, 8), m=24, p_values=(0.5, 0.25), monte_carlo_trials=2000),
+        rounds=1, iterations=1,
+    )
+    print("\n=== Fig. 5: P(line card l sleeps), m = 24 modems/card ===")
+    for key, entry in data.items():
+        paper = " ".join(f"{v:.2f}" for v in entry["paper_eq2"])
+        exact = " ".join(f"{v:.2f}" for v in entry["exact"])
+        monte = " ".join(f"{v:.2f}" for v in entry["monte_carlo"])
+        print(f"{key:12s} eq2  : {paper}")
+        print(f"{'':12s} exact: {exact}")
+        print(f"{'':12s} sim  : {monte}")
+    # Paper: even small switches give the first card a high chance to sleep
+    # when half of the modems are off, and the chance decreases with l.
+    entry = data["p=0.5 k=8"]
+    assert entry["paper_eq2"][0] > 0.85
+    assert entry["exact"][0] > 0.9
+    assert entry["exact"][0] > entry["exact"][3]
+    # Monte-Carlo packing agrees with the exact expression.
+    for sim, exact in zip(entry["monte_carlo"], entry["exact"]):
+        assert abs(sim - exact) < 0.06

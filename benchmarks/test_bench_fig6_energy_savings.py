@@ -1,0 +1,23 @@
+"""Fig. 6: energy savings vs. no-sleep over the day, per scheme."""
+
+import numpy as np
+
+from repro.analysis import figures
+from benchmarks.conftest import print_series
+
+
+def test_bench_fig6_energy_savings(benchmark, comparison):
+    data = benchmark.pedantic(figures.figure6, args=(comparison,), rounds=1, iterations=1)
+    print_series("Fig. 6: energy savings vs. no-sleep [%]", data, "hours", "savings_percent")
+    peak = (11 * 3600.0, 19 * 3600.0)
+    summary = {name: 100 * comparison.mean_savings(name) for name in comparison.scheme_names}
+    peak_summary = {name: 100 * comparison.mean_savings(name, *peak) for name in comparison.scheme_names}
+    print("\nscheme                        day-average   peak-hours")
+    for name in summary:
+        print(f"{name:28s} {summary[name]:10.1f}%  {peak_summary[name]:9.1f}%")
+    # Paper shape: Optimal ~80 % throughout; BH2+k-switch well above SoI(+k)
+    # at peak; SoI collapses below 20 % at peak.
+    assert summary["Optimal"] > 65.0
+    assert peak_summary["SoI"] < 25.0
+    assert peak_summary["BH2+k-switch"] > peak_summary["SoI+k-switch"]
+    assert summary["BH2+k-switch"] > summary["SoI"]

@@ -1,0 +1,21 @@
+"""Fig. 7: number of online gateways over the day, per aggregation scheme."""
+
+from repro.analysis import figures
+from benchmarks.conftest import print_series
+
+
+def test_bench_fig7_online_gateways(benchmark, comparison, scenario):
+    data = benchmark.pedantic(figures.figure7, args=(comparison,), rounds=1, iterations=1)
+    print_series("Fig. 7: online gateways", data, "hours", "online_gateways")
+    peak = (11 * 3600.0, 19 * 3600.0)
+    soi_peak = comparison.mean_online_gateways("SoI", *peak)
+    bh2_peak = comparison.mean_online_gateways("BH2+k-switch", *peak)
+    bh2_nb_peak = comparison.mean_online_gateways("BH2 w/o backup+k-switch", *peak)
+    optimal_peak = comparison.mean_online_gateways("Optimal", *peak)
+    print(f"\npeak-hours online gateways (of {scenario.num_gateways}): "
+          f"SoI={soi_peak:.1f} BH2={bh2_peak:.1f} BH2 w/o backup={bh2_nb_peak:.1f} Optimal={optimal_peak:.1f}")
+    # Paper: SoI powers on nearly every gateway at peak; BH2 tracks the
+    # optimal far more closely; the backup costs little.
+    assert soi_peak > 0.75 * scenario.num_gateways
+    assert bh2_peak < 0.8 * soi_peak
+    assert optimal_peak <= bh2_peak

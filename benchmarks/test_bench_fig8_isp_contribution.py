@@ -1,0 +1,22 @@
+"""Fig. 8: share of the total savings contributed by the ISP side."""
+
+from repro.analysis import figures
+from benchmarks.conftest import print_series
+
+
+def test_bench_fig8_isp_contribution(benchmark, comparison):
+    data = benchmark.pedantic(figures.figure8, args=(comparison,), rounds=1, iterations=1)
+    print_series("Fig. 8: ISP share of total savings [%]", data, "hours", "isp_share_percent")
+    shares = {
+        name: 100 * comparison.first(name).mean_isp_share_of_savings()
+        for name in comparison.scheme_names if name != "no-sleep"
+    }
+    print("\nday-average ISP share of savings:")
+    for name, share in shares.items():
+        print(f"  {name:28s} {share:5.1f}%")
+    # Paper: switching makes the ISP side a substantial part (tens of percent)
+    # of the savings for Optimal and BH2+k-switch; plain SoI saves almost
+    # nothing on the ISP side beyond the terminating modems.
+    assert shares["Optimal"] > 20.0
+    assert shares["BH2+k-switch"] > 15.0
+    assert shares["BH2+k-switch"] > shares["SoI"]

@@ -1,0 +1,19 @@
+"""Fig. 9a: CDF of the increase in flow completion time vs. no-sleep."""
+
+import numpy as np
+
+from repro.analysis import figures
+
+
+def test_bench_fig9a_completion_time(benchmark, comparison):
+    data = benchmark.pedantic(figures.figure9a, args=(comparison,), rounds=1, iterations=1)
+    print("\n=== Fig. 9a: flow completion time increase vs. no-sleep ===")
+    for name, series in data.items():
+        values = np.asarray(series["variation_percent"])
+        affected = series["fraction_affected"]
+        p99 = np.percentile(values, 99) if values.size else 0.0
+        print(f"{name:28s} affected={100 * affected:5.1f}%  p99 increase={p99:7.1f}%")
+    # Paper: only a small fraction of flows are affected, and BH2 keeps the
+    # affected fraction small (few percent for BH2, <10 % for SoI).
+    assert data["SoI"]["fraction_affected"] < 0.35
+    assert data["BH2+k-switch"]["fraction_affected"] < 0.35

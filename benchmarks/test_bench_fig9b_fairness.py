@@ -1,0 +1,19 @@
+"""Fig. 9b: CDF of the per-gateway online-time variation vs. SoI (fairness)."""
+
+import numpy as np
+
+from repro.analysis import figures
+
+
+def test_bench_fig9b_fairness(benchmark, comparison):
+    data = benchmark.pedantic(figures.figure9b, args=(comparison,), rounds=1, iterations=1)
+    print("\n=== Fig. 9b: gateway online-time variation vs. SoI ===")
+    for name in ("BH2+k-switch", "BH2 w/o backup+k-switch"):
+        values = np.asarray(data[name]["variation_percent"])
+        fully_off = float(np.mean(values <= -99.9)) if values.size else 0.0
+        increased = float(np.mean(values > 0.0)) if values.size else 0.0
+        print(f"{name:28s} fully sleeping={100 * fully_off:5.1f}%  online-time increased={100 * increased:5.1f}%")
+    # Paper: BH2 sends a sizeable fraction of gateways fully to sleep while a
+    # minority see their online time increase (they serve the hitch-hikers).
+    bh2 = np.asarray(data["BH2+k-switch"]["variation_percent"])
+    assert np.mean(bh2 < 0) > 0.3

@@ -1,0 +1,16 @@
+"""Sec. 5.4 headline numbers: savings margin, achieved savings, extrapolation."""
+
+from repro.analysis import figures
+
+
+def test_bench_summary_savings(benchmark, comparison):
+    data = benchmark.pedantic(figures.summary_savings, args=(comparison,), rounds=1, iterations=1)
+    print("\n=== Sec. 5.4 summary ===")
+    print(f"savings margin (Optimal)        : {data['margin_percent']:5.1f}%   (paper: ~80%)")
+    print(f"BH2 + k-switch average savings  : {data['bh2_kswitch_percent']:5.1f}%   (paper: ~66%)")
+    print(f"ISP share of BH2+k savings      : {data['isp_share_of_savings_percent']:5.1f}%   (paper: ~1/3)")
+    print(f"world-wide extrapolation        : {data['world_wide_twh_per_year']:5.1f} TWh/yr (paper: ~33)")
+    assert data["margin_percent"] > 65.0
+    assert data["bh2_kswitch_percent"] > 35.0
+    assert data["margin_percent"] > data["bh2_kswitch_percent"]
+    assert 10.0 <= data["world_wide_twh_per_year"] <= 60.0

@@ -1,0 +1,20 @@
+"""Sec. 5.2.3: average number of online line cards during peak hours."""
+
+from repro.analysis import figures
+
+
+def test_bench_table_online_cards(benchmark, comparison, scenario):
+    table = benchmark.pedantic(figures.table_online_cards, args=(comparison,), rounds=1, iterations=1)
+    print(f"\n=== Online line cards during peak hours (of {scenario.dslam.num_line_cards}) ===")
+    paper = {
+        "Optimal": 1.0, "BH2+full-switch": 2.0, "BH2+k-switch": 2.88,
+        "SoI+full-switch": 3.0, "SoI+k-switch": 3.74, "SoI": 3.99,
+    }
+    for name, cards in sorted(table.items(), key=lambda kv: kv[1]):
+        reference = f"(paper: {paper[name]:.2f})" if name in paper else ""
+        print(f"{name:28s} {cards:5.2f} {reference}")
+    # Paper ordering: optimal <= BH2+full <= BH2+k <= SoI+full <= SoI+k <= SoI.
+    assert table["Optimal"] <= table["BH2+k-switch"] + 0.05
+    assert table["BH2+k-switch"] <= table["SoI+k-switch"] + 0.05
+    assert table["SoI+k-switch"] <= table["SoI"] + 0.05
+    assert table["BH2+full-switch"] <= table["BH2+k-switch"] + 0.05

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e . --no-use-pep517`` works in fully offline
+environments where the ``wheel`` package (needed for PEP 660 editable
+installs) is unavailable.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""Figure and table regeneration.
+
+Each ``figure*`` function in :mod:`repro.analysis.figures` returns the data
+series behind the corresponding figure of the paper as plain dictionaries
+and lists, so they can be printed, asserted against in benchmarks, or fed
+to any plotting library.  :mod:`repro.analysis.report` renders them as
+text tables.
+"""
+
+from repro.analysis import figures, report
+
+__all__ = ["figures", "report"]

@@ -1,0 +1,61 @@
+"""Plain-text rendering of figure data and experiment summaries."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], precision: int = 2) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    rendered_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(series: Mapping[str, Mapping[str, Sequence[float]]], x_key: str, y_key: str,
+                  max_points: int = 26) -> str:
+    """Render one series-per-scheme dictionary (as produced by figures.figureN)."""
+    blocks: List[str] = []
+    for name, data in series.items():
+        xs = list(data[x_key])
+        ys = list(data[y_key])
+        stride = max(1, len(xs) // max_points)
+        rows = [(f"{x:.2f}", f"{y:.2f}") for x, y in zip(xs[::stride], ys[::stride])]
+        blocks.append(f"== {name} ==")
+        blocks.append(format_table([x_key, y_key], rows))
+    return "\n".join(blocks)
+
+
+def render_summary(summary: Mapping[str, Mapping[str, float]]) -> str:
+    """Render the per-scheme savings summary of ``metrics.summarize_savings``."""
+    if not summary:
+        return "(no results)"
+    metrics = list(next(iter(summary.values())).keys())
+    rows = [[name] + [values[m] for m in metrics] for name, values in summary.items()]
+    return format_table(["scheme"] + metrics, rows)
+
+
+def render_key_values(values: Mapping[str, object], title: str = "") -> str:
+    """Render a flat key/value mapping."""
+    lines = [title] if title else []
+    width = max((len(k) for k in values), default=0)
+    for key, value in values.items():
+        if isinstance(value, float):
+            lines.append(f"{key.ljust(width)} : {value:.3f}")
+        else:
+            lines.append(f"{key.ljust(width)} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,200 @@
+"""Command-line interface: ``repro-access <command>``.
+
+Commands
+--------
+
+``trace``      generate a synthetic trace and print its aggregate statistics
+``simulate``   run the scheme comparison and print the savings summary
+``figure``     regenerate the data behind one of the paper's figures
+``crosstalk``  run the Fig. 14 crosstalk speedup experiment
+``testbed``    run the Fig. 12 testbed replay
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis import figures, report
+from repro.core.schemes import all_schemes, standard_schemes
+from repro.simulation.metrics import summarize_savings
+from repro.traces.io import write_trace
+from repro.traces.models import TraceStats
+from repro.traces.synthetic import generate_crawdad_like_trace
+
+
+def _add_trace_parser(subparsers) -> None:
+    parser = subparsers.add_parser("trace", help="generate a synthetic wireless trace")
+    parser.add_argument("--clients", type=int, default=272)
+    parser.add_argument("--gateways", type=int, default=40)
+    parser.add_argument("--hours", type=float, default=24.0)
+    parser.add_argument("--seed", type=int, default=2011)
+    parser.add_argument("--output", type=str, default=None, help="write the trace as CSV")
+
+
+def _add_simulate_parser(subparsers) -> None:
+    parser = subparsers.add_parser("simulate", help="run the scheme comparison")
+    parser.add_argument("--clients", type=int, default=68)
+    parser.add_argument("--gateways", type=int, default=10)
+    parser.add_argument("--hours", type=float, default=4.0)
+    parser.add_argument("--runs", type=int, default=1)
+    parser.add_argument("--step", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--schemes",
+        type=str,
+        default=None,
+        help="comma-separated scheme names (default: the Fig. 6 set); "
+        f"known: {', '.join(all_schemes())}",
+    )
+
+
+def _add_figure_parser(subparsers) -> None:
+    parser = subparsers.add_parser("figure", help="regenerate the data behind a figure")
+    parser.add_argument(
+        "id",
+        choices=["2", "3", "4", "5", "14", "15"],
+        help="figure number (simulation figures 6-12 are produced by 'simulate')",
+    )
+    parser.add_argument("--json", action="store_true", help="print raw JSON instead of a table")
+
+
+def _add_crosstalk_parser(subparsers) -> None:
+    parser = subparsers.add_parser("crosstalk", help="run the Fig. 14 experiment")
+    parser.add_argument("--sequences", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_testbed_parser(subparsers) -> None:
+    parser = subparsers.add_parser("testbed", help="run the Fig. 12 testbed replay")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-access",
+        description="Reproduction of 'Insomnia in the Access' (SIGCOMM 2011)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_trace_parser(subparsers)
+    _add_simulate_parser(subparsers)
+    _add_figure_parser(subparsers)
+    _add_crosstalk_parser(subparsers)
+    _add_testbed_parser(subparsers)
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_trace(args) -> int:
+    trace = generate_crawdad_like_trace(
+        seed=args.seed,
+        num_clients=args.clients,
+        num_gateways=args.gateways,
+        duration=args.hours * 3600.0,
+    )
+    stats = TraceStats.from_trace(trace)
+    print(report.render_key_values({
+        "clients": stats.num_clients,
+        "gateways": stats.num_gateways,
+        "flows": stats.num_flows,
+        "total_gigabytes": stats.total_bytes / 1e9,
+        "mean_utilization_percent": 100.0 * stats.mean_utilization,
+        "peak_hour": stats.peak_hour,
+        "peak_hour_utilization_percent": 100.0 * stats.peak_hour_utilization,
+    }, title="Synthetic trace statistics"))
+    if args.output:
+        write_trace(trace, args.output)
+        print(f"trace written to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    scale = figures.EvaluationScale(
+        num_clients=args.clients,
+        num_gateways=args.gateways,
+        duration_s=args.hours * 3600.0,
+        runs_per_scheme=args.runs,
+        step_s=args.step,
+        seed=args.seed,
+    )
+    if args.schemes:
+        known = all_schemes()
+        try:
+            schemes = [known[name.strip()] for name in args.schemes.split(",")]
+        except KeyError as error:
+            print(f"unknown scheme {error}; known schemes: {', '.join(known)}", file=sys.stderr)
+            return 2
+    else:
+        schemes = standard_schemes()
+    comparison = figures.run_evaluation(scale=scale, schemes=schemes)
+    summary = summarize_savings({name: comparison.first(name) for name in comparison.scheme_names})
+    print(report.render_summary(summary))
+    headline = figures.summary_savings(comparison)
+    if headline:
+        print()
+        print(report.render_key_values(headline, title="Headline numbers (Sec. 5.4)"))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    if args.id == "2":
+        data = figures.figure2()
+    elif args.id == "3":
+        data = figures.figure3()
+    elif args.id == "4":
+        data = figures.figure4()
+    elif args.id == "5":
+        data = figures.figure5()
+    elif args.id == "14":
+        data = figures.figure14(num_sequences=2)
+    else:
+        data = figures.figure15()
+    if args.json:
+        print(json.dumps(data, indent=2, default=str))
+    else:
+        print(report.render_key_values({"figure": args.id}))
+        print(json.dumps(data, indent=2, default=str))
+    return 0
+
+
+def _cmd_crosstalk(args) -> int:
+    data = figures.figure14(num_sequences=args.sequences, seed=args.seed)
+    rows = []
+    for label, curve in data.items():
+        rows.append([
+            label,
+            curve["baseline_mbps"],
+            curve["mean_speedup_percent"][curve["inactive_lines"].index(12)],
+            curve["mean_speedup_percent"][-1],
+        ])
+    print(report.format_table(
+        ["configuration", "baseline Mbps", "speedup @12 off (%)", "speedup @20 off (%)"], rows
+    ))
+    return 0
+
+
+def _cmd_testbed(args) -> int:
+    data = figures.figure12(seed=args.seed)
+    rows = [[name, series["mean_online"], 9 - series["mean_online"]] for name, series in data.items()]
+    print(report.format_table(["scheme", "mean online APs", "mean sleeping APs"], rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "trace": _cmd_trace,
+        "simulate": _cmd_simulate,
+        "figure": _cmd_figure,
+        "crosstalk": _cmd_crosstalk,
+        "testbed": _cmd_testbed,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

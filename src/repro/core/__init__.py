@@ -1,0 +1,32 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.bh2` — Broadband Hitch-Hiking, the distributed
+  terminal-side aggregation algorithm (Sec. 3).
+* :mod:`repro.core.optimal` — the centralised binary-integer program of
+  Eq. (1) and solvers for it (greedy with local search, exact search for
+  small instances).
+* :mod:`repro.core.schemes` — the named schemes compared in the evaluation
+  (No-sleep, SoI, SoI + k-switch, BH2 + k-switch, Optimal, and variants).
+"""
+
+from repro.core.bh2 import BH2Config, BH2Decision, BH2Terminal
+from repro.core.optimal import (
+    AggregationProblem,
+    AggregationSolution,
+    GreedyAggregationSolver,
+    ExactAggregationSolver,
+)
+from repro.core.schemes import AggregationKind, SchemeConfig, standard_schemes
+
+__all__ = [
+    "BH2Config",
+    "BH2Decision",
+    "BH2Terminal",
+    "AggregationProblem",
+    "AggregationSolution",
+    "GreedyAggregationSolver",
+    "ExactAggregationSolver",
+    "SchemeConfig",
+    "AggregationKind",
+    "standard_schemes",
+]

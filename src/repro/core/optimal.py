@@ -1,0 +1,309 @@
+"""The centralised aggregation problem of Eq. (1) and solvers for it.
+
+The problem: given per-user demands ``d_i``, gateway capacities ``c_j``,
+wireless capacities ``w_ij``, a backup requirement and a utilisation cap
+``q``, choose which gateways stay online (``o_j``) and how users are
+assigned to them (``a_ij``) so that the number of online gateways is
+minimised::
+
+    minimise   sum_j o_j
+    subject to sum_j a_ij >= 1 + backup              for all i
+               d_i * a_ij <= w_ij                    for all i, j
+               sum_i d_i * a_ij <= q * c_j * o_j     for all j
+
+The decision version reduces from SET-COVER, so the paper's *Optimal*
+scheme is an idealised upper bound computed offline every minute.  We
+provide:
+
+* :class:`GreedyAggregationSolver` — a capacity-aware greedy set-multicover
+  heuristic with a pruning local-search pass; this is what the simulator's
+  *Optimal* scheme uses (it is optimal or within one gateway of optimal on
+  every instance arising from the traces, see the tests);
+* :class:`ExactAggregationSolver` — exhaustive search over online-gateway
+  subsets with a backtracking assignment check, for small instances and for
+  validating the greedy solver.
+
+Users with zero demand never force a gateway online: an offline gateway can
+"host" them because the capacity constraint is vacuous at ``d_i = 0``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+
+@dataclass
+class AggregationProblem:
+    """One instance of the Eq. (1) optimisation problem at a time slot."""
+
+    #: user id -> traffic demand in bits per second.
+    demands_bps: Dict[int, float]
+    #: gateway id -> broadband (backhaul) capacity in bits per second.
+    capacities_bps: Dict[int, float]
+    #: (user id, gateway id) -> wireless capacity; missing pairs are unreachable.
+    wireless_bps: Dict[Tuple[int, int], float]
+    #: minimum number of *extra* gateways each user must be able to reach.
+    backup: int = 1
+    #: maximum allowed utilisation of a gateway (the q of Eq. 1).
+    max_utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.backup < 0:
+            raise ValueError("backup must be non-negative")
+        if not 0 < self.max_utilization <= 1:
+            raise ValueError("max_utilization must lie in (0, 1]")
+        if any(d < 0 for d in self.demands_bps.values()):
+            raise ValueError("demands must be non-negative")
+        if any(c <= 0 for c in self.capacities_bps.values()):
+            raise ValueError("capacities must be positive")
+
+    # ------------------------------------------------------------------
+    def feasible_gateways(self, user: int) -> List[int]:
+        """Gateways that can individually carry the user's demand (w_ij >= d_i)."""
+        demand = self.demands_bps.get(user, 0.0)
+        return [
+            g
+            for g in self.capacities_bps
+            if (user, g) in self.wireless_bps and self.wireless_bps[(user, g)] >= demand
+        ]
+
+    def active_users(self) -> List[int]:
+        """Users whose demand is strictly positive (the only ones that matter)."""
+        return [u for u, d in self.demands_bps.items() if d > 0]
+
+    def required_coverage(self, user: int) -> int:
+        """How many distinct gateways the user must be assigned to.
+
+        The nominal requirement is ``1 + backup`` but it is capped by the
+        number of gateways that can feasibly serve the user, so a user in a
+        sparse neighbourhood does not make the instance infeasible.
+        """
+        feasible = len(self.feasible_gateways(user))
+        return max(1, min(1 + self.backup, feasible)) if feasible else 0
+
+    def gateway_budget(self, gateway: int) -> float:
+        """Usable capacity of a gateway (q * c_j)."""
+        return self.max_utilization * self.capacities_bps[gateway]
+
+
+@dataclass
+class AggregationSolution:
+    """A feasible (not necessarily optimal) solution of the problem."""
+
+    online_gateways: FrozenSet[int]
+    #: user id -> tuple of gateways the user is assigned to (primary first).
+    assignment: Dict[int, Tuple[int, ...]]
+    objective: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.objective = len(self.online_gateways)
+
+    def primary_gateway(self, user: int) -> Optional[int]:
+        """The gateway the user's traffic is routed through (first assigned)."""
+        gateways = self.assignment.get(user)
+        return gateways[0] if gateways else None
+
+
+def verify_solution(problem: AggregationProblem, solution: AggregationSolution) -> bool:
+    """Check every constraint of Eq. (1) for ``solution``; returns True iff feasible."""
+    load: Dict[int, float] = {g: 0.0 for g in problem.capacities_bps}
+    for user in problem.active_users():
+        gateways = solution.assignment.get(user, ())
+        if len(set(gateways)) < problem.required_coverage(user):
+            return False
+        demand = problem.demands_bps[user]
+        for gateway in gateways:
+            if gateway not in solution.online_gateways:
+                return False
+            wireless = problem.wireless_bps.get((user, gateway), 0.0)
+            if demand > wireless:
+                return False
+            load[gateway] += demand
+    return all(load[g] <= problem.gateway_budget(g) + 1e-9 for g in solution.online_gateways)
+
+
+class GreedyAggregationSolver:
+    """Capacity-aware greedy set-multicover with a pruning pass."""
+
+    def solve(self, problem: AggregationProblem) -> AggregationSolution:
+        """Compute a feasible solution minimising (approximately) the objective."""
+        users = problem.active_users()
+        need: Dict[int, int] = {u: problem.required_coverage(u) for u in users}
+        users = [u for u in users if need[u] > 0]
+        feasible: Dict[int, List[int]] = {u: problem.feasible_gateways(u) for u in users}
+
+        online: Set[int] = set()
+        assignment: Dict[int, List[int]] = {u: [] for u in users}
+        load: Dict[int, float] = {g: 0.0 for g in problem.capacities_bps}
+
+        remaining = {u for u in users if need[u] > len(assignment[u])}
+        while remaining:
+            best_gateway, best_covered = None, []
+            for gateway in problem.capacities_bps:
+                if gateway in online:
+                    continue
+                covered = self._coverable(problem, gateway, remaining, assignment, need, feasible, load)
+                if len(covered) > len(best_covered):
+                    best_gateway, best_covered = gateway, covered
+            if best_gateway is None or not best_covered:
+                # No gateway can make progress (capacity exhausted or
+                # unreachable users); the remaining users keep partial coverage.
+                break
+            online.add(best_gateway)
+            for user in best_covered:
+                assignment[user].append(best_gateway)
+                load[best_gateway] += problem.demands_bps[user]
+            remaining = {u for u in users if need[u] > len(assignment[u])}
+
+        online, assignment = self._prune(problem, online, assignment, need)
+        return AggregationSolution(
+            online_gateways=frozenset(online),
+            assignment={u: tuple(gws) for u, gws in assignment.items()},
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coverable(
+        problem: AggregationProblem,
+        gateway: int,
+        remaining: Set[int],
+        assignment: Dict[int, List[int]],
+        need: Dict[int, int],
+        feasible: Dict[int, List[int]],
+        load: Dict[int, float],
+    ) -> List[int]:
+        """Users whose coverage this gateway could extend, respecting its budget."""
+        budget = problem.gateway_budget(gateway) - load[gateway]
+        eligible = [
+            u
+            for u in remaining
+            if gateway in feasible[u] and gateway not in assignment[u]
+        ]
+        # Smallest demands first maximises the number of users covered.
+        eligible.sort(key=lambda u: problem.demands_bps[u])
+        covered: List[int] = []
+        for user in eligible:
+            demand = problem.demands_bps[user]
+            if demand <= budget + 1e-12:
+                covered.append(user)
+                budget -= demand
+        return covered
+
+    @staticmethod
+    def _prune(
+        problem: AggregationProblem,
+        online: Set[int],
+        assignment: Dict[int, List[int]],
+        need: Dict[int, int],
+    ) -> Tuple[Set[int], Dict[int, List[int]]]:
+        """Drop gateways that became redundant after later picks."""
+        for gateway in sorted(online, key=lambda g: sum(1 for a in assignment.values() if g in a)):
+            users_on_gateway = [u for u, gws in assignment.items() if gateway in gws]
+            trial_online = online - {gateway}
+            if not trial_online and users_on_gateway:
+                continue
+            load = {g: 0.0 for g in trial_online}
+            for u, gws in assignment.items():
+                for g in gws:
+                    if g != gateway:
+                        load[g] = load.get(g, 0.0) + problem.demands_bps[u]
+            reassignment: Dict[int, int] = {}
+            ok = True
+            for user in sorted(users_on_gateway, key=lambda u: -problem.demands_bps[u]):
+                demand = problem.demands_bps[user]
+                placed = False
+                for g in trial_online:
+                    if g in assignment[user]:
+                        continue
+                    wireless = problem.wireless_bps.get((user, g), 0.0)
+                    if wireless >= demand and load[g] + demand <= problem.gateway_budget(g) + 1e-12:
+                        reassignment[user] = g
+                        load[g] += demand
+                        placed = True
+                        break
+                if not placed:
+                    ok = False
+                    break
+            if ok:
+                online = trial_online
+                for user, new_gateway in reassignment.items():
+                    assignment[user] = [g for g in assignment[user] if g != gateway] + [new_gateway]
+                for user in users_on_gateway:
+                    if user not in reassignment:
+                        assignment[user] = [g for g in assignment[user] if g != gateway]
+        return online, assignment
+
+
+class ExactAggregationSolver:
+    """Exhaustive solver for small instances (validation and tests only)."""
+
+    def __init__(self, max_gateways: int = 16):
+        self.max_gateways = max_gateways
+
+    def solve(self, problem: AggregationProblem) -> AggregationSolution:
+        """Find a minimum-cardinality online set by subset enumeration."""
+        gateways = sorted(problem.capacities_bps)
+        if len(gateways) > self.max_gateways:
+            raise ValueError(
+                f"exact solver limited to {self.max_gateways} gateways, "
+                f"got {len(gateways)}; use GreedyAggregationSolver instead"
+            )
+        users = [u for u in problem.active_users() if problem.required_coverage(u) > 0]
+        if not users:
+            return AggregationSolution(online_gateways=frozenset(), assignment={})
+        for size in range(1, len(gateways) + 1):
+            for subset in itertools.combinations(gateways, size):
+                assignment = self._assign(problem, users, set(subset))
+                if assignment is not None:
+                    return AggregationSolution(
+                        online_gateways=frozenset(subset),
+                        assignment={u: tuple(gws) for u, gws in assignment.items()},
+                    )
+        # Fall back: everything online, best-effort assignment.
+        assignment = self._assign(problem, users, set(gateways), best_effort=True) or {}
+        return AggregationSolution(
+            online_gateways=frozenset(gateways),
+            assignment={u: tuple(gws) for u, gws in assignment.items()},
+        )
+
+    # ------------------------------------------------------------------
+    def _assign(
+        self,
+        problem: AggregationProblem,
+        users: Sequence[int],
+        online: Set[int],
+        best_effort: bool = False,
+    ) -> Optional[Dict[int, List[int]]]:
+        """Backtracking assignment of users to the online set; None if infeasible."""
+        order = sorted(users, key=lambda u: -problem.demands_bps[u])
+        load = {g: 0.0 for g in online}
+        assignment: Dict[int, List[int]] = {u: [] for u in users}
+
+        def backtrack(index: int) -> bool:
+            if index == len(order):
+                return True
+            user = order[index]
+            demand = problem.demands_bps[user]
+            needed = problem.required_coverage(user)
+            options = [
+                g
+                for g in online
+                if problem.wireless_bps.get((user, g), 0.0) >= demand
+            ]
+            if len(options) < needed:
+                return best_effort and backtrack(index + 1)
+            for combo in itertools.combinations(sorted(options, key=lambda g: load[g]), needed):
+                if all(load[g] + demand <= problem.gateway_budget(g) + 1e-12 for g in combo):
+                    for g in combo:
+                        load[g] += demand
+                    assignment[user] = list(combo)
+                    if backtrack(index + 1):
+                        return True
+                    for g in combo:
+                        load[g] -= demand
+                    assignment[user] = []
+            return best_effort and backtrack(index + 1)
+
+        return assignment if backtrack(0) else None

@@ -1,0 +1,172 @@
+"""Named schemes of the evaluation (Sec. 5.1, "Algorithms for comparison").
+
+Each :class:`SchemeConfig` tells the simulator how to behave along three
+axes: whether gateways may sleep, how traffic is aggregated (not at all,
+with BH2, or with the centralised optimal), and what switching capability
+exists at the HDF.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.access.soi import SoIConfig
+from repro.core.bh2 import BH2Config
+
+
+class AggregationKind(enum.Enum):
+    """How user traffic is aggregated onto gateways."""
+
+    NONE = "none"
+    BH2 = "bh2"
+    OPTIMAL = "optimal"
+
+
+class SwitchingKind(enum.Enum):
+    """HDF switching capability used by a scheme."""
+
+    NONE = "none"
+    KSWITCH = "kswitch"
+    FULL = "full"
+
+
+@dataclass(frozen=True)
+class SchemeConfig:
+    """Complete behavioural description of one evaluated scheme."""
+
+    name: str
+    sleep_enabled: bool
+    aggregation: AggregationKind
+    switching: SwitchingKind
+    bh2: BH2Config = field(default_factory=BH2Config)
+    soi: SoIConfig = field(default_factory=SoIConfig)
+    #: Period of the centralised optimal recomputation (seconds).
+    optimal_period_s: float = 60.0
+    #: Utilisation cap q of the optimal formulation.
+    optimal_max_utilization: float = 1.0
+    #: The optimal scheme is an idealised upper bound: gateways wake and
+    #: sleep instantaneously and flows migrate with zero downtime.
+    idealized_transitions: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scheme needs a name")
+        if self.optimal_period_s <= 0:
+            raise ValueError("optimal_period_s must be positive")
+
+    def with_name(self, name: str) -> "SchemeConfig":
+        """A renamed copy (useful for ablation variants)."""
+        return replace(self, name=name)
+
+
+def no_sleep() -> SchemeConfig:
+    """Today's operation: nothing ever sleeps (the savings baseline)."""
+    return SchemeConfig(
+        name="no-sleep",
+        sleep_enabled=False,
+        aggregation=AggregationKind.NONE,
+        switching=SwitchingKind.NONE,
+    )
+
+
+def soi() -> SchemeConfig:
+    """Plain Sleep-on-Idle: users stay on their home gateways."""
+    return SchemeConfig(
+        name="SoI",
+        sleep_enabled=True,
+        aggregation=AggregationKind.NONE,
+        switching=SwitchingKind.NONE,
+    )
+
+
+def soi_kswitch() -> SchemeConfig:
+    """Sleep-on-Idle plus k-switches at the HDF."""
+    return SchemeConfig(
+        name="SoI+k-switch",
+        sleep_enabled=True,
+        aggregation=AggregationKind.NONE,
+        switching=SwitchingKind.KSWITCH,
+    )
+
+
+def soi_full_switch() -> SchemeConfig:
+    """Sleep-on-Idle plus an idealised full switch (used in Sec. 5.2.3)."""
+    return SchemeConfig(
+        name="SoI+full-switch",
+        sleep_enabled=True,
+        aggregation=AggregationKind.NONE,
+        switching=SwitchingKind.FULL,
+    )
+
+
+def bh2_kswitch(backup: int = 1) -> SchemeConfig:
+    """BH2 aggregation plus k-switches (the paper's headline scheme)."""
+    suffix = "" if backup == 1 else f" (backup={backup})"
+    return SchemeConfig(
+        name=f"BH2+k-switch{suffix}",
+        sleep_enabled=True,
+        aggregation=AggregationKind.BH2,
+        switching=SwitchingKind.KSWITCH,
+        bh2=BH2Config(backup=backup),
+    )
+
+
+def bh2_no_backup_kswitch() -> SchemeConfig:
+    """BH2 without backup gateways (fairness comparison of Fig. 9b)."""
+    return SchemeConfig(
+        name="BH2 w/o backup+k-switch",
+        sleep_enabled=True,
+        aggregation=AggregationKind.BH2,
+        switching=SwitchingKind.KSWITCH,
+        bh2=BH2Config(backup=0),
+    )
+
+
+def bh2_full_switch(backup: int = 1) -> SchemeConfig:
+    """BH2 aggregation plus a full switch (used in Sec. 5.2.3)."""
+    return SchemeConfig(
+        name="BH2+full-switch",
+        sleep_enabled=True,
+        aggregation=AggregationKind.BH2,
+        switching=SwitchingKind.FULL,
+        bh2=BH2Config(backup=backup),
+    )
+
+
+def optimal(backup: int = 0) -> SchemeConfig:
+    """Centralised optimal aggregation + full switching, idealised transitions.
+
+    Backup gateways exist only to allow *smooth hand-offs* for the
+    distributed BH2 terminals; the idealised optimal migrates flows with
+    zero downtime every minute, so it does not need them (``backup=0``).
+    """
+    return SchemeConfig(
+        name="Optimal",
+        sleep_enabled=True,
+        aggregation=AggregationKind.OPTIMAL,
+        switching=SwitchingKind.FULL,
+        bh2=BH2Config(backup=backup),
+        idealized_transitions=True,
+    )
+
+
+def standard_schemes() -> List[SchemeConfig]:
+    """The four schemes of Fig. 6 plus the baseline, in plotting order."""
+    return [no_sleep(), soi(), soi_kswitch(), bh2_kswitch(), optimal()]
+
+
+def all_schemes() -> Dict[str, SchemeConfig]:
+    """Every named scheme, keyed by name."""
+    schemes = [
+        no_sleep(),
+        soi(),
+        soi_kswitch(),
+        soi_full_switch(),
+        bh2_kswitch(),
+        bh2_no_backup_kswitch(),
+        bh2_full_switch(),
+        optimal(),
+    ]
+    return {s.name: s for s in schemes}

@@ -1,0 +1,99 @@
+"""In-flight flow state and completion records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.traces.models import Flow
+
+
+@dataclass
+class ActiveFlow:
+    """A flow currently being transferred (or waiting for its gateway).
+
+    The gateway a flow is routed through is fixed when the flow is admitted
+    — the paper's schemes never migrate in-flight flows, they only route
+    *new* flows through the newly selected gateway.
+    """
+
+    flow: Flow
+    gateway_id: int
+    wireless_capacity_bps: float
+    remaining_bytes: float = field(init=False)
+    first_service_time: Optional[float] = None
+    completion_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.wireless_capacity_bps <= 0:
+            raise ValueError("wireless_capacity_bps must be positive")
+        self.remaining_bytes = float(self.flow.size_bytes)
+
+    @property
+    def client_id(self) -> int:
+        """Client the flow belongs to."""
+        return self.flow.client_id
+
+    @property
+    def done(self) -> bool:
+        """Whether the transfer has finished."""
+        return self.remaining_bytes <= 1e-9
+
+    def serve(self, rate_bps: float, dt: float, now: float) -> float:
+        """Transfer up to ``rate_bps * dt`` bits; returns the bits served."""
+        if rate_bps < 0 or dt < 0:
+            raise ValueError("rate and dt must be non-negative")
+        if self.done:
+            return 0.0
+        if self.first_service_time is None and rate_bps > 0:
+            self.first_service_time = now
+        bits = min(rate_bps * dt, self.remaining_bytes * 8.0)
+        self.remaining_bytes -= bits / 8.0
+        if self.done:
+            # The flow finished part-way through the step: record the actual
+            # instant the last byte was delivered, not the end of the step.
+            served_for = bits / rate_bps if rate_bps > 0 else dt
+            self.completion_time = now + min(dt, served_for)
+        return bits
+
+    def to_record(self, baseline_duration_s: Optional[float] = None) -> "FlowRecord":
+        """Freeze the flow into an immutable result record."""
+        if self.completion_time is None:
+            raise ValueError("flow has not completed yet")
+        return FlowRecord(
+            flow_id=self.flow.flow_id,
+            client_id=self.flow.client_id,
+            gateway_id=self.gateway_id,
+            size_bytes=self.flow.size_bytes,
+            arrival_time=self.flow.start_time,
+            completion_time=self.completion_time,
+            baseline_duration_s=baseline_duration_s,
+        )
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """Result of one completed flow."""
+
+    flow_id: int
+    client_id: int
+    gateway_id: int
+    size_bytes: int
+    arrival_time: float
+    completion_time: float
+    baseline_duration_s: Optional[float] = None
+
+    @property
+    def duration_s(self) -> float:
+        """Observed completion time (arrival to last byte)."""
+        return self.completion_time - self.arrival_time
+
+    def variation_vs_baseline_percent(self) -> Optional[float]:
+        """Percentage increase of the duration versus the no-sleep baseline.
+
+        This is the metric of Fig. 9a.  ``None`` when no baseline duration
+        was attached to the record.
+        """
+        if self.baseline_duration_s is None or self.baseline_duration_s <= 0:
+            return None
+        return 100.0 * (self.duration_s - self.baseline_duration_s) / self.baseline_duration_s

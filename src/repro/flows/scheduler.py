@@ -1,0 +1,161 @@
+"""Bandwidth sharing and flow progress.
+
+Each gateway's ADSL backhaul is shared among the flows routed through it
+using max-min fairness, with every flow additionally capped by the wireless
+hop between its client and the gateway.  The scheduler advances flow state
+in discrete steps driven by the network simulator.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.flows.flow import ActiveFlow, FlowRecord
+
+
+def max_min_allocation(capacity_bps: float, caps_bps: Sequence[float]) -> List[float]:
+    """Max-min fair allocation of ``capacity_bps`` under per-flow caps.
+
+    Classic water-filling: repeatedly give every unsatisfied flow an equal
+    share of the remaining capacity; flows whose cap is below the share get
+    exactly their cap and drop out.
+    """
+    if capacity_bps < 0:
+        raise ValueError("capacity must be non-negative")
+    n = len(caps_bps)
+    if n == 0:
+        return []
+    if any(c < 0 for c in caps_bps):
+        raise ValueError("caps must be non-negative")
+    allocation = [0.0] * n
+    remaining = capacity_bps
+    unsatisfied = [i for i in range(n) if caps_bps[i] > 0]
+    while unsatisfied and remaining > 1e-12:
+        share = remaining / len(unsatisfied)
+        bottlenecked = [i for i in unsatisfied if caps_bps[i] - allocation[i] <= share]
+        if bottlenecked:
+            for i in bottlenecked:
+                remaining -= caps_bps[i] - allocation[i]
+                allocation[i] = caps_bps[i]
+            unsatisfied = [i for i in unsatisfied if i not in set(bottlenecked)]
+        else:
+            for i in unsatisfied:
+                allocation[i] += share
+            remaining = 0.0
+    return allocation
+
+
+class FlowScheduler:
+    """Tracks in-flight flows and shares gateway backhauls among them."""
+
+    def __init__(self, backhaul_bps: float):
+        if backhaul_bps <= 0:
+            raise ValueError("backhaul_bps must be positive")
+        self.backhaul_bps = backhaul_bps
+        self._active: List[ActiveFlow] = []
+        self._completed: List[ActiveFlow] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def active_flows(self) -> List[ActiveFlow]:
+        """Flows that still have bytes to transfer."""
+        return list(self._active)
+
+    @property
+    def completed_flows(self) -> List[ActiveFlow]:
+        """Flows that finished, in completion order."""
+        return list(self._completed)
+
+    def admit(self, flow: ActiveFlow) -> None:
+        """Add a new flow to the system."""
+        if flow.done:
+            raise ValueError("cannot admit an already-completed flow")
+        self._active.append(flow)
+
+    def flows_at_gateway(self, gateway_id: int) -> List[ActiveFlow]:
+        """Active flows currently routed through ``gateway_id``."""
+        return [f for f in self._active if f.gateway_id == gateway_id]
+
+    def gateways_with_traffic(self) -> Set[int]:
+        """Gateways that have at least one active (possibly waiting) flow."""
+        return {f.gateway_id for f in self._active}
+
+    def demand_bps(self, gateway_id: int, horizon_s: float = 60.0) -> float:
+        """Aggregate demand of the flows at ``gateway_id`` over a horizon.
+
+        Used by the optimal ILP as the per-user demand estimate d_i(t).
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        flows = self.flows_at_gateway(gateway_id)
+        return sum(f.remaining_bytes * 8.0 for f in flows) / horizon_s
+
+    def client_demand_bps(self, horizon_s: float = 60.0) -> Dict[int, float]:
+        """Per-client aggregate demand over a horizon (d_i of Eq. 1)."""
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        demand: Dict[int, float] = defaultdict(float)
+        for flow in self._active:
+            demand[flow.client_id] += flow.remaining_bytes * 8.0 / horizon_s
+        return dict(demand)
+
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        now: float,
+        dt: float,
+        online_gateways: Set[int],
+        backhaul_bps: Optional[Dict[int, float]] = None,
+    ) -> Tuple[Dict[int, float], List[ActiveFlow]]:
+        """Advance all flows by ``dt`` seconds ending at ``now + dt``.
+
+        Flows whose gateway is not online make no progress (they are waiting
+        for the gateway to wake up).  Returns the bits served per gateway and
+        the list of flows that completed during this step.
+        """
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        served_per_gateway: Dict[int, float] = defaultdict(float)
+        completed: List[ActiveFlow] = []
+        if dt == 0:
+            return dict(served_per_gateway), completed
+
+        by_gateway: Dict[int, List[ActiveFlow]] = defaultdict(list)
+        for flow in self._active:
+            by_gateway[flow.gateway_id].append(flow)
+
+        for gateway_id, flows in by_gateway.items():
+            if gateway_id not in online_gateways:
+                continue
+            capacity = (
+                backhaul_bps.get(gateway_id, self.backhaul_bps)
+                if backhaul_bps is not None
+                else self.backhaul_bps
+            )
+            caps = [f.wireless_capacity_bps for f in flows]
+            rates = max_min_allocation(capacity, caps)
+            for flow, rate in zip(flows, rates):
+                bits = flow.serve(rate, dt, now)
+                served_per_gateway[gateway_id] += bits
+                if flow.done:
+                    completed.append(flow)
+
+        if completed:
+            done_ids = {id(f) for f in completed}
+            self._active = [f for f in self._active if id(f) not in done_ids]
+            self._completed.extend(completed)
+        return dict(served_per_gateway), completed
+
+    # ------------------------------------------------------------------
+    def records(self, baselines: Optional[Dict[int, float]] = None) -> List[FlowRecord]:
+        """Completion records of all finished flows.
+
+        ``baselines`` optionally maps flow id → no-sleep duration so that the
+        records carry the Fig. 9a comparison metric.
+        """
+        records = []
+        for flow in self._completed:
+            baseline = baselines.get(flow.flow.flow_id) if baselines else None
+            records.append(flow.to_record(baseline_duration_s=baseline))
+        return records

@@ -1,0 +1,24 @@
+"""Power and energy models of access-network devices.
+
+Power figures come directly from the paper's measurements (Sec. 5.1):
+a Telsey ADSL gateway draws about 9 W almost independently of load, a
+Netgear wireless router about 5 W, an ISP-side DSL modem about 1 W, a DSL
+line card typically 98 W and the DSLAM shelf 21 W.
+"""
+
+from repro.power.models import (
+    DevicePower,
+    PowerState,
+    AccessNetworkPowerModel,
+    DEFAULT_POWER_MODEL,
+)
+from repro.power.energy import EnergyAccumulator, EnergyBreakdown
+
+__all__ = [
+    "PowerState",
+    "DevicePower",
+    "AccessNetworkPowerModel",
+    "DEFAULT_POWER_MODEL",
+    "EnergyAccumulator",
+    "EnergyBreakdown",
+]

@@ -1,0 +1,319 @@
+"""Core of the discrete-event simulation engine.
+
+The model follows simpy closely:
+
+* :class:`Environment` holds the simulation clock and the pending event
+  queue (a binary heap keyed by ``(time, priority, sequence)``).
+* :class:`Event` is a one-shot occurrence that callbacks can be attached to.
+* :class:`Timeout` is an event that fires after a fixed delay.
+* :class:`repro.sim.process.Process` wraps a generator; every value the
+  generator yields must be an :class:`Event`, and the process resumes when
+  that event fires.
+
+Only the features the access-network simulator needs are implemented, but
+they are implemented carefully (deterministic ordering, error propagation,
+interrupts) because the whole evaluation rests on this kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal operations on the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.process.Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+#: Priority used for ordinary events.
+NORMAL = 1
+#: Priority used for urgent (kernel-internal) events such as process resumption.
+URGENT = 0
+
+
+class Event:
+    """A one-shot event that can succeed or fail at a point in simulated time.
+
+    Callbacks appended to :attr:`callbacks` are invoked with the event as the
+    single argument when the event is processed.  After processing,
+    :attr:`callbacks` becomes ``None`` which makes double-triggering easy to
+    detect.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been scheduled to occur."""
+        return self._scheduled
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The value the event carries (result or exception)."""
+        if self._ok is None:
+            raise SimulationError("value of untriggered event is not available")
+        return self._value
+
+    def defused(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule the event to occur now with ``value`` as its result."""
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule the event to occur now, failing with ``exception``."""
+        if self._ok is not None:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after it is created."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, priority=NORMAL, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class AnyOf(Event):
+    """Fires as soon as any of the given events fires."""
+
+    def __init__(self, env: "Environment", events: List[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        if not self.events:
+            self.succeed({})
+            return
+        self._done = False
+        for event in self.events:
+            if event.processed:
+                env.schedule(_Resumer(env, self, event), priority=URGENT)
+            else:
+                event.callbacks.append(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self._done:
+            return
+        self._done = True
+        if event._ok:
+            self.succeed({event: event._value})
+        else:
+            event.defused()
+            self.fail(event._value)
+
+
+class AllOf(Event):
+    """Fires once all of the given events have fired."""
+
+    def __init__(self, env: "Environment", events: List[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._pending = len(self.events)
+        self._results: dict = {}
+        self._failed = False
+        if self._pending == 0:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._collect(event)
+            else:
+                event.callbacks.append(self._collect)
+
+    def _collect(self, event: Event) -> None:
+        if self._failed:
+            return
+        if not event._ok:
+            self._failed = True
+            event.defused()
+            self.fail(event._value)
+            return
+        self._results[event] = event._value
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(dict(self._results))
+
+
+class _Resumer(Event):
+    """Internal helper used by AnyOf to deliver already-triggered events."""
+
+    def __init__(self, env: "Environment", target: AnyOf, source: Event):
+        super().__init__(env)
+        self._target = target
+        self._source = source
+        self._ok = True
+        self.callbacks.append(lambda _evt: target._on_fire(source))
+
+
+class Environment:
+    """The simulation environment: clock, event queue and run loop."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = itertools.count()
+        self._active_process = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently being resumed (or ``None``)."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered one-shot :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` units from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Create an event that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Create an event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def process(self, generator) -> "Process":
+        """Start a new :class:`~repro.sim.process.Process` from a generator."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Insert ``event`` into the queue ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            return
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be a time (run until the clock reaches it), an
+        :class:`Event` (run until it fires, returning its value), or ``None``
+        (run until the event queue drains).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop_event = until
+            result_holder: dict = {}
+
+            def _stop(evt: Event) -> None:
+                result_holder["value"] = evt._value
+                result_holder["ok"] = evt._ok
+
+            if stop_event.processed:
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
+            stop_event.callbacks.append(_stop)
+            while self._queue and "value" not in result_holder:
+                self.step()
+            if "value" not in result_holder:
+                raise SimulationError("run(until=event): event was never triggered")
+            if not result_holder["ok"]:
+                raise result_holder["value"]
+            return result_holder["value"]
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} lies in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,108 @@
+"""Generator-based processes for the simulation engine."""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import URGENT, Environment, Event, Interrupt, SimulationError
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process wraps a generator.  Each value the generator yields must be an
+    :class:`~repro.sim.engine.Event`; the process sleeps until that event
+    fires and is then resumed with the event's value (or the event's
+    exception thrown into it).  The process itself is an event that fires
+    with the generator's return value when the generator terminates, so
+    processes can wait for each other simply by yielding them.
+    """
+
+    def __init__(self, env: Environment, generator: Generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        # Kick off execution via an urgent initialisation event so creation
+        # order equals execution order at the same timestamp.
+        init = Event(env)
+        init._ok = True
+        init.callbacks.append(self._resume)
+        env.schedule(init, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not terminated yet."""
+        return self._value is None and self._ok is None
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self.env.active_process is self:
+            raise SimulationError("a process is not allowed to interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        # Detach from the event we were waiting on if an interrupt overtook it.
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None and self._resume in self._target.callbacks:
+                self._target.callbacks.remove(self._resume)
+        self._target = None
+
+        self.env._active_process = self
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event.defused()
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_event, Event):
+            error = SimulationError(
+                f"process yielded a non-event value: {next_event!r}"
+            )
+            self._generator.close()
+            self.fail(error)
+            return
+
+        if next_event.processed:
+            # The event already happened; resume immediately (urgent).
+            bridge = Event(self.env)
+            bridge._ok = next_event._ok
+            bridge._value = next_event._value
+            if not next_event._ok:
+                bridge._defused = True
+            bridge.callbacks.append(self._resume)
+            self.env.schedule(bridge, priority=URGENT)
+            self._target = bridge
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", str(self._generator))
+        return f"<Process({name}) {'alive' if self.is_alive else 'done'}>"

@@ -1,0 +1,174 @@
+"""Shared resources for the simulation engine.
+
+Three simpy-like primitives are provided:
+
+* :class:`Resource` — a counted resource with FIFO queuing (e.g. a DSLAM
+  maintenance crew or a limited pool of wake-up slots).
+* :class:`Container` — a continuous quantity with ``put``/``get`` (e.g. an
+  energy budget).
+* :class:`Store` — a FIFO queue of Python objects (e.g. a packet queue).
+
+All requests are events, so processes wait on them by yielding.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.sim.engine import Environment, Event, SimulationError
+
+
+class _Request(Event):
+    """Base class for queued resource requests supporting cancellation."""
+
+    def cancel(self) -> None:
+        """Withdraw a request that has not been granted yet."""
+        if not self.triggered:
+            self._cancelled = True
+
+
+class Resource:
+    """A resource with ``capacity`` slots and FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[_Request] = []
+        self.queue: Deque[_Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    def request(self) -> _Request:
+        """Ask for a slot; the returned event fires when the slot is granted."""
+        req = _Request(self.env)
+        req._cancelled = False
+        self.queue.append(req)
+        self._grant()
+        return req
+
+    def release(self, request: _Request) -> Event:
+        """Give back a previously granted slot."""
+        if request in self.users:
+            self.users.remove(request)
+        done = Event(self.env)
+        done.succeed()
+        self._grant()
+        return done
+
+    def _grant(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            req = self.queue.popleft()
+            if getattr(req, "_cancelled", False):
+                continue
+            self.users.append(req)
+            req.succeed()
+
+
+class Container:
+    """A continuous quantity bounded by ``capacity``."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if init < 0 or init > capacity:
+            raise ValueError("init must lie in [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: Deque[tuple] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current amount stored in the container."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; the event fires once the amount fits."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = Event(self.env)
+        self._putters.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; the event fires once the amount is available."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = Event(self.env)
+        self._getters.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    self._putters.popleft()
+                    event.succeed()
+                    progress = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    self._getters.popleft()
+                    event.succeed(amount)
+                    progress = True
+
+
+class Store:
+    """A FIFO store of arbitrary Python objects with bounded capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; fires once there is room."""
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._settle()
+        return event
+
+    def get(self) -> Event:
+        """Remove the oldest item; fires with the item once one is available."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and len(self.items) < self.capacity:
+                event, item = self._putters.popleft()
+                self.items.append(item)
+                event.succeed()
+                progress = True
+            if self._getters and self.items:
+                event = self._getters.popleft()
+                event.succeed(self.items.pop(0))
+                progress = True
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+__all__ = ["Resource", "Container", "Store", "SimulationError"]

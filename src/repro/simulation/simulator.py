@@ -1,0 +1,542 @@
+"""The trace-driven access-network simulator.
+
+The simulator advances in (adaptively sized) time steps.  During every step
+it admits newly arrived flows, runs the aggregation logic (BH2 terminal
+decisions or the centralised optimal), shares each online gateway's
+backhaul among its flows, advances the gateway Sleep-on-Idle state
+machines, re-terminates lines through the HDF switches, and charges energy
+to every device category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.access.dslam import Dslam, SwitchingMode
+from repro.access.gateway import Gateway
+from repro.access.soi import SoIConfig
+from repro.core.bh2 import BH2Terminal, GatewayObservation
+from repro.core.optimal import AggregationProblem, GreedyAggregationSolver
+from repro.core.schemes import AggregationKind, SchemeConfig, SwitchingKind
+from repro.flows.flow import ActiveFlow, FlowRecord
+from repro.flows.scheduler import FlowScheduler
+from repro.power.energy import EnergyAccumulator, EnergyBreakdown
+from repro.power.models import AccessNetworkPowerModel, DEFAULT_POWER_MODEL, PowerState
+from repro.topology.scenario import DslamConfig, Scenario
+from repro.traces.models import Flow
+from repro.wireless.channel import WirelessChannel
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during one simulation run."""
+
+    scheme_name: str
+    duration: float
+    num_gateways: int
+    num_line_cards: int
+    sample_times: np.ndarray
+    online_gateways: np.ndarray
+    waking_gateways: np.ndarray
+    online_modems: np.ndarray
+    online_line_cards: np.ndarray
+    energy: EnergyBreakdown
+    energy_series_times: np.ndarray
+    energy_series_total_j: np.ndarray
+    energy_series_isp_j: np.ndarray
+    flow_records: List[FlowRecord]
+    gateway_online_seconds: Dict[int, float]
+    baseline_power_w: float
+    baseline_isp_power_w: float
+
+    # ------------------------------------------------------------------
+    @property
+    def sample_interval_s(self) -> float:
+        """Spacing of the metric samples."""
+        if len(self.sample_times) > 1:
+            return float(self.sample_times[1] - self.sample_times[0])
+        return self.duration
+
+    def savings_timeseries(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Energy savings vs. the no-sleep baseline per interval (Fig. 6).
+
+        Returns ``(times, percent_savings)``.
+        """
+        interval = np.diff(
+            np.append(self.energy_series_times, self.energy_series_times[-1] + self._interval())
+        ) if len(self.energy_series_times) else np.array([])
+        baseline_j = self.baseline_power_w * interval
+        with np.errstate(divide="ignore", invalid="ignore"):
+            savings = 100.0 * (1.0 - self.energy_series_total_j / baseline_j)
+        return self.energy_series_times, savings
+
+    def isp_share_of_savings_timeseries(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Share of the per-interval savings contributed by the ISP side (Fig. 8)."""
+        interval = self._interval()
+        baseline_total = self.baseline_power_w * interval
+        baseline_isp = self.baseline_isp_power_w * interval
+        saved_total = baseline_total - self.energy_series_total_j
+        saved_isp = baseline_isp - self.energy_series_isp_j
+        share = np.zeros_like(saved_total)
+        positive = saved_total > 1e-9
+        share[positive] = 100.0 * np.clip(saved_isp[positive] / saved_total[positive], 0.0, 1.0)
+        return self.energy_series_times, share
+
+    def mean_savings(self, t_start: float = 0.0, t_end: Optional[float] = None) -> float:
+        """Average energy savings (fraction) over a time window."""
+        t_end = self.duration if t_end is None else t_end
+        mask = (self.energy_series_times >= t_start) & (self.energy_series_times < t_end)
+        if not mask.any():
+            return 0.0
+        consumed = float(self.energy_series_total_j[mask].sum())
+        baseline = self.baseline_power_w * self._interval() * int(mask.sum())
+        return 1.0 - consumed / baseline if baseline > 0 else 0.0
+
+    def mean_isp_share_of_savings(self, t_start: float = 0.0, t_end: Optional[float] = None) -> float:
+        """Average fraction of the savings contributed by the ISP side."""
+        t_end = self.duration if t_end is None else t_end
+        mask = (self.energy_series_times >= t_start) & (self.energy_series_times < t_end)
+        if not mask.any():
+            return 0.0
+        n = int(mask.sum())
+        baseline_total = self.baseline_power_w * self._interval() * n
+        baseline_isp = self.baseline_isp_power_w * self._interval() * n
+        saved_total = baseline_total - float(self.energy_series_total_j[mask].sum())
+        saved_isp = baseline_isp - float(self.energy_series_isp_j[mask].sum())
+        if saved_total <= 0:
+            return 0.0
+        return max(0.0, min(1.0, saved_isp / saved_total))
+
+    def mean_online_gateways(self, t_start: float = 0.0, t_end: Optional[float] = None) -> float:
+        """Average number of powered gateways over a time window (Fig. 7)."""
+        t_end = self.duration if t_end is None else t_end
+        mask = (self.sample_times >= t_start) & (self.sample_times < t_end)
+        if not mask.any():
+            return 0.0
+        return float(self.online_gateways[mask].mean())
+
+    def mean_online_line_cards(self, t_start: float = 0.0, t_end: Optional[float] = None) -> float:
+        """Average number of powered line cards over a time window (Sec. 5.2.3)."""
+        t_end = self.duration if t_end is None else t_end
+        mask = (self.sample_times >= t_start) & (self.sample_times < t_end)
+        if not mask.any():
+            return 0.0
+        return float(self.online_line_cards[mask].mean())
+
+    def flow_durations(self) -> Dict[int, float]:
+        """Completion time of every finished flow, keyed by flow id."""
+        return {r.flow_id: r.duration_s for r in self.flow_records}
+
+    def _interval(self) -> float:
+        if len(self.energy_series_times) > 1:
+            return float(self.energy_series_times[1] - self.energy_series_times[0])
+        return self.duration
+
+
+class AccessNetworkSimulator:
+    """Simulates one scheme over one scenario."""
+
+    #: Largest time step taken while the network is completely idle.
+    MAX_IDLE_SKIP_S = 30.0
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        scheme: SchemeConfig,
+        power_model: AccessNetworkPowerModel = DEFAULT_POWER_MODEL,
+        step_s: float = 1.0,
+        sample_interval_s: float = 60.0,
+        seed: int = 0,
+        baseline_durations: Optional[Dict[int, float]] = None,
+    ):
+        if step_s <= 0 or sample_interval_s <= 0:
+            raise ValueError("step_s and sample_interval_s must be positive")
+        self.scenario = scenario
+        self.scheme = scheme
+        self.power_model = power_model
+        self.step_s = step_s
+        self.sample_interval_s = sample_interval_s
+        self.seed = seed
+        self.baseline_durations = baseline_durations or {}
+        self._rng = np.random.default_rng(seed)
+
+        # --- devices ---------------------------------------------------
+        soi = scheme.soi
+        if scheme.idealized_transitions:
+            soi = SoIConfig(idle_timeout_s=0.0, wake_up_time_s=0.0)
+        self.gateways: Dict[int, Gateway] = {
+            g: Gateway(
+                gateway_id=g,
+                backhaul_bps=scenario.wireless.backhaul_bps,
+                soi=soi,
+                sleep_enabled=scheme.sleep_enabled,
+                load_window_s=scheme.bh2.load_window_s,
+                initially_sleeping=scheme.sleep_enabled,
+            )
+            for g in range(scenario.num_gateways)
+        }
+        self.dslam = Dslam(
+            config=self._dslam_config(),
+            line_ports=dict(scenario.gateway_port),
+        )
+        self.channel = WirelessChannel(
+            home_capacity_bps=scenario.wireless.home_capacity_bps,
+            neighbour_capacity_bps=scenario.wireless.neighbour_capacity_bps,
+            seed=seed,
+        )
+        self.scheduler = FlowScheduler(backhaul_bps=scenario.wireless.backhaul_bps)
+
+        # --- per-client routing state -----------------------------------
+        self.selected_gateway: Dict[int, int] = dict(scenario.trace.home_gateway)
+        self.fallback_gateway: Dict[int, Optional[int]] = {c: None for c in self.selected_gateway}
+        self.terminals: Dict[int, BH2Terminal] = {}
+        if scheme.aggregation is AggregationKind.BH2:
+            for client, home in scenario.trace.home_gateway.items():
+                self.terminals[client] = BH2Terminal(
+                    client_id=client,
+                    home_gateway=home,
+                    reachable_gateways=scenario.topology.reachable[client],
+                    config=scheme.bh2,
+                    rng=np.random.default_rng(self._rng.integers(2**31 - 1)),
+                )
+        self._optimal_solver = GreedyAggregationSolver()
+        self._next_optimal_at = 0.0
+        #: Gateways the last optimal solve decided to keep online (they stay
+        #: powered until the next solve, even if they carry only backup load).
+        self._optimal_online: Set[int] = set()
+
+        # --- trace -------------------------------------------------------
+        self._arrivals: List[Flow] = scenario.trace.all_flows()
+        self._arrival_index = 0
+        self._upcoming_demand: Dict[int, Dict[int, float]] = {}
+        if scheme.aggregation is AggregationKind.OPTIMAL:
+            self._upcoming_demand = self._precompute_period_demand()
+
+        # --- accounting ---------------------------------------------------
+        self.energy = EnergyAccumulator(
+            interval_seconds=sample_interval_s, horizon=scenario.trace.duration
+        )
+        self._samples: List[Tuple[float, int, int, int, int]] = []
+
+    # ------------------------------------------------------------------
+    def _dslam_config(self) -> DslamConfig:
+        base = self.scenario.dslam
+        if self.scheme.switching is SwitchingKind.NONE:
+            return base.with_switch(None, full=False)
+        if self.scheme.switching is SwitchingKind.FULL:
+            return base.with_switch(None, full=True)
+        return base.with_switch(base.switch_size or 4, full=False)
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Run the simulation and return the collected metrics."""
+        horizon = self.scenario.trace.duration if until is None else min(
+            until, self.scenario.trace.duration
+        )
+        now = 0.0
+        next_sample = 0.0
+        while now < horizon:
+            if now >= next_sample:
+                self._record_sample(now)
+                next_sample += self.sample_interval_s
+            dt = self._next_dt(now, next_sample, horizon)
+            self._admit_arrivals(now)
+            if self.scheme.aggregation is AggregationKind.BH2:
+                self._run_bh2_decisions(now)
+            elif self.scheme.aggregation is AggregationKind.OPTIMAL and now >= self._next_optimal_at:
+                self._run_optimal(now)
+                self._next_optimal_at += self.scheme.optimal_period_s
+            self._serve_flows(now, dt)
+            self._step_gateways(now, dt)
+            self._update_dslam()
+            self._charge_energy(now, dt)
+            now += dt
+        self._record_sample(min(now, horizon))
+        return self._build_result(horizon)
+
+    # ------------------------------------------------------------------
+    # Flow admission and routing
+    # ------------------------------------------------------------------
+    def _admit_arrivals(self, now: float) -> None:
+        while (
+            self._arrival_index < len(self._arrivals)
+            and self._arrivals[self._arrival_index].start_time <= now
+        ):
+            flow = self._arrivals[self._arrival_index]
+            self._arrival_index += 1
+            self._route_flow(flow, now)
+
+    def _route_flow(self, flow: Flow, now: float) -> None:
+        client = flow.client_id
+        gateway_id = self._routing_gateway(client, now)
+        home = self.scenario.trace.home_gateway[client]
+        is_home = gateway_id == home
+        capacity = self.channel.capacity(client, gateway_id, is_home)
+        active = ActiveFlow(flow=flow, gateway_id=gateway_id, wireless_capacity_bps=capacity)
+        self.scheduler.admit(active)
+        gateway = self.gateways[gateway_id]
+        if gateway.is_sleeping:
+            gateway.request_wake(now)
+        gateway.touch(now)
+
+    def _routing_gateway(self, client: int, now: float) -> int:
+        """Which gateway a *new* flow of ``client`` should be routed through."""
+        home = self.scenario.trace.home_gateway[client]
+        selected = self.selected_gateway.get(client, home)
+        gateway = self.gateways[selected]
+        if gateway.is_online:
+            self.fallback_gateway[client] = None
+            return selected
+        if selected == home:
+            # Home gateway is asleep or waking: wake it and wait.
+            return home
+        if gateway.is_waking:
+            # We are waiting for a remote gateway: keep traffic on the
+            # fallback (usually the previous gateway) while it becomes
+            # operational, otherwise wait.
+            fallback = self.fallback_gateway.get(client)
+            if fallback is not None and self.gateways[fallback].is_online:
+                return fallback
+            return selected
+        # The selected remote gateway went to sleep.  A terminal can only
+        # wake its own home gateway, so return home.
+        if self.scheme.aggregation is AggregationKind.OPTIMAL:
+            alternative = self._best_online_gateway(client)
+            if alternative is not None:
+                self.selected_gateway[client] = alternative
+                return alternative
+        self.selected_gateway[client] = home
+        self.fallback_gateway[client] = None
+        return home
+
+    def _best_online_gateway(self, client: int) -> Optional[int]:
+        """Least-loaded online gateway reachable by ``client`` (optimal scheme)."""
+        candidates = [
+            g
+            for g in self.scenario.topology.reachable[client]
+            if self.gateways[g].is_online
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda g: self.gateways[g].utilization(self._now_hint))
+
+    # ------------------------------------------------------------------
+    # Aggregation logic
+    # ------------------------------------------------------------------
+    def _run_bh2_decisions(self, now: float) -> None:
+        due = [t for t in self.terminals.values() if t.decision_due(now)]
+        if not due:
+            return
+        observations = self._gateway_observations(now)
+        clients_with_flows = {f.client_id for f in self.scheduler.active_flows}
+        for terminal in due:
+            previous = terminal.current_gateway
+            decision = terminal.decide(now, observations)
+            client = terminal.client_id
+            if decision.selected_gateway != previous:
+                if decision.wake_home and client in clients_with_flows:
+                    # Wake the home gateway only when there is traffic to
+                    # carry back; idle terminals re-attach lazily (the next
+                    # flow arrival wakes the home gateway if still needed).
+                    self.gateways[terminal.home_gateway].request_wake(now)
+                    # Traffic keeps using the previous gateway while home wakes.
+                    if self.gateways[previous].is_online:
+                        self.fallback_gateway[client] = previous
+                else:
+                    self.fallback_gateway[client] = None
+            self.selected_gateway[client] = decision.selected_gateway
+
+    def _gateway_observations(self, now: float) -> Dict[int, GatewayObservation]:
+        observations = {}
+        for gateway_id, gateway in self.gateways.items():
+            observations[gateway_id] = GatewayObservation(
+                gateway_id=gateway_id,
+                online=gateway.is_online,
+                load=gateway.utilization(now) if gateway.is_online else 0.0,
+            )
+        return observations
+
+    def _precompute_period_demand(self) -> Dict[int, Dict[int, float]]:
+        """Per-period, per-client demand (bps) implied by the trace.
+
+        The paper's *Optimal* scheme recomputes the assignment every minute
+        knowing the users' demands; we give it the demand each client will
+        actually generate during the upcoming period, which is the natural
+        clairvoyant upper bound.
+        """
+        period = self.scheme.optimal_period_s
+        demand: Dict[int, Dict[int, float]] = {}
+        for flow in self._arrivals:
+            index = int(flow.start_time // period)
+            bucket = demand.setdefault(index, {})
+            bucket[flow.client_id] = bucket.get(flow.client_id, 0.0) + flow.size_bytes * 8.0 / period
+        return demand
+
+    def _run_optimal(self, now: float) -> None:
+        period_index = int(now // self.scheme.optimal_period_s)
+        demands = dict(self._upcoming_demand.get(period_index, {}))
+        # Add the backlog of flows still in flight so they keep a serving gateway.
+        for client, backlog in self.scheduler.client_demand_bps(
+            horizon_s=self.scheme.optimal_period_s
+        ).items():
+            demands[client] = demands.get(client, 0.0) + backlog
+        if not demands:
+            # Nothing to carry: every gateway may sleep.
+            self._optimal_online = set()
+            return
+        # A single client can never use more than the ADSL backhaul, so cap
+        # its demand there (otherwise a large backlog would look unservable).
+        cap = self.scenario.wireless.backhaul_bps
+        demands = {c: min(d, cap) for c, d in demands.items()}
+        topology = self.scenario.topology
+        wireless: Dict[Tuple[int, int], float] = {}
+        for client in demands:
+            home = topology.home_gateway[client]
+            for gateway in topology.reachable[client]:
+                wireless[(client, gateway)] = self.channel.capacity(
+                    client, gateway, gateway == home
+                )
+        problem = AggregationProblem(
+            demands_bps=demands,
+            capacities_bps={
+                g: self.scenario.wireless.backhaul_bps for g in range(self.scenario.num_gateways)
+            },
+            wireless_bps=wireless,
+            backup=self.scheme.bh2.backup,
+            max_utilization=self.scheme.optimal_max_utilization,
+        )
+        solution = self._optimal_solver.solve(problem)
+        self._optimal_online = set(solution.online_gateways)
+        # Wake the selected gateways (instantaneously for the idealised bound).
+        for gateway_id in solution.online_gateways:
+            gateway = self.gateways[gateway_id]
+            if gateway.is_sleeping:
+                gateway.request_wake(now)
+            gateway.touch(now)
+        # Migrate in-flight flows and update the routing of future flows.
+        for flow in self.scheduler.active_flows:
+            client = flow.client_id
+            primary = solution.primary_gateway(client)
+            if primary is not None and primary != flow.gateway_id:
+                home = topology.home_gateway[client]
+                flow.gateway_id = primary
+                flow.wireless_capacity_bps = self.channel.capacity(
+                    client, primary, primary == home
+                )
+        for client in demands:
+            primary = solution.primary_gateway(client)
+            if primary is not None:
+                self.selected_gateway[client] = primary
+
+    # ------------------------------------------------------------------
+    # Per-step mechanics
+    # ------------------------------------------------------------------
+    def _serve_flows(self, now: float, dt: float) -> None:
+        online = {g for g, gw in self.gateways.items() if gw.is_online}
+        served, _completed = self.scheduler.step(now, dt, online)
+        for gateway_id, bits in served.items():
+            if bits > 0:
+                self.gateways[gateway_id].record_traffic(bits, now + dt)
+
+    def _step_gateways(self, now: float, dt: float) -> None:
+        pending = self.scheduler.gateways_with_traffic()
+        if self.scheme.aggregation is AggregationKind.OPTIMAL:
+            pending = pending | self._optimal_online
+        end = now + dt
+        for gateway_id, gateway in self.gateways.items():
+            gateway.step(end, dt, has_pending_traffic=gateway_id in pending)
+
+    def _update_dslam(self) -> None:
+        line_active = {
+            g: not gw.is_sleeping for g, gw in self.gateways.items()
+        }
+        if self.dslam.mode is SwitchingMode.FIXED:
+            return
+        if self.scheme.idealized_transitions:
+            movable = set(self.gateways)
+        else:
+            movable = {g for g, gw in self.gateways.items() if not gw.is_online}
+        self.dslam.rewire(line_active, movable)
+
+    def _charge_energy(self, now: float, dt: float) -> None:
+        active = sum(1 for gw in self.gateways.values() if gw.state is PowerState.ACTIVE)
+        waking = sum(1 for gw in self.gateways.values() if gw.state is PowerState.WAKING)
+        modems_on = active + waking
+        cards_on = len(self.dslam.online_cards(
+            [g for g, gw in self.gateways.items() if not gw.is_sleeping]
+        ))
+        model = self.power_model
+        self.energy.charge_at("gateway", model.user_side_power(active, waking), now, dt)
+        self.energy.charge_at("isp_modem", modems_on * model.isp_modem.active_w, now, dt)
+        self.energy.charge_at("line_card", cards_on * model.line_card.active_w, now, dt)
+        self.energy.charge_at("dslam_shelf", model.dslam_shelf.active_w, now, dt)
+
+    def _record_sample(self, now: float) -> None:
+        active = sum(1 for gw in self.gateways.values() if gw.state is PowerState.ACTIVE)
+        waking = sum(1 for gw in self.gateways.values() if gw.state is PowerState.WAKING)
+        not_sleeping = [g for g, gw in self.gateways.items() if not gw.is_sleeping]
+        cards_on = len(self.dslam.online_cards(not_sleeping))
+        self._samples.append((now, active + waking, waking, len(not_sleeping), cards_on))
+
+    # ------------------------------------------------------------------
+    def _next_dt(self, now: float, next_sample: float, horizon: float) -> float:
+        self._now_hint = now
+        dt = self.step_s
+        if self.scheduler.active_flows:
+            return min(dt, horizon - now)
+        # Network idle: skip ahead to the next interesting instant.
+        candidates = [now + self.MAX_IDLE_SKIP_S, next_sample if next_sample > now else now + dt, horizon]
+        if self._arrival_index < len(self._arrivals):
+            candidates.append(self._arrivals[self._arrival_index].start_time)
+        if self.scheme.aggregation is AggregationKind.OPTIMAL:
+            candidates.append(self._next_optimal_at if self._next_optimal_at > now else now + dt)
+        for gateway in self.gateways.values():
+            transition = gateway.next_transition_time()
+            if transition is not None and transition > now:
+                candidates.append(transition)
+        target = min(c for c in candidates if c > now)
+        return max(self.step_s, min(target - now, self.MAX_IDLE_SKIP_S, horizon - now))
+
+    # ------------------------------------------------------------------
+    def _build_result(self, horizon: float) -> SimulationResult:
+        samples = np.array(self._samples, dtype=float)
+        energy_times, energy_total = self.energy.timeseries()
+        _times, energy_isp = self.energy.timeseries(
+            categories=("isp_modem", "line_card", "dslam_shelf")
+        )
+        model = self.power_model
+        baseline_power = model.no_sleep_power(
+            num_gateways=self.scenario.num_gateways,
+            num_line_cards=self.scenario.dslam.num_line_cards,
+        )
+        baseline_isp = model.isp_side_power(
+            modems_online=self.scenario.num_gateways,
+            line_cards_online=self.scenario.dslam.num_line_cards,
+        )
+        return SimulationResult(
+            scheme_name=self.scheme.name,
+            duration=horizon,
+            num_gateways=self.scenario.num_gateways,
+            num_line_cards=self.scenario.dslam.num_line_cards,
+            sample_times=samples[:, 0] if samples.size else np.array([]),
+            online_gateways=samples[:, 1] if samples.size else np.array([]),
+            waking_gateways=samples[:, 2] if samples.size else np.array([]),
+            online_modems=samples[:, 3] if samples.size else np.array([]),
+            online_line_cards=samples[:, 4] if samples.size else np.array([]),
+            energy=self.energy.breakdown(),
+            energy_series_times=np.array(energy_times, dtype=float),
+            energy_series_total_j=np.array(energy_total, dtype=float),
+            energy_series_isp_j=np.array(energy_isp, dtype=float),
+            flow_records=self.scheduler.records(baselines=self.baseline_durations),
+            gateway_online_seconds={
+                g: gw.online_seconds + gw.waking_seconds for g, gw in self.gateways.items()
+            },
+            baseline_power_w=baseline_power,
+            baseline_isp_power_w=baseline_isp,
+        )
+
+    #: Time hint used by helpers that need "now" outside the main loop.
+    _now_hint: float = 0.0

@@ -1,0 +1,27 @@
+"""Wireless overlap topology and scenario construction.
+
+The paper's traces contain no topology information, so (like the authors) we
+synthesise a wireless overlap topology whose node degrees follow the
+distribution of per-household wireless networks in a residential area, with
+an average of 5.6 networks in range of a client, and we also support the
+binomial connectivity matrices used for the gateway-density sweep (Fig. 10).
+"""
+
+from repro.topology.overlap import (
+    GatewayTopology,
+    binomial_connectivity,
+    generate_overlap_topology,
+    residential_degree_sequence,
+)
+from repro.topology.scenario import DslamConfig, Scenario, WirelessParameters, build_default_scenario
+
+__all__ = [
+    "GatewayTopology",
+    "generate_overlap_topology",
+    "binomial_connectivity",
+    "residential_degree_sequence",
+    "Scenario",
+    "DslamConfig",
+    "WirelessParameters",
+    "build_default_scenario",
+]

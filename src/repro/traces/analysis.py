@@ -1,0 +1,190 @@
+"""Trace analysis utilities: utilisation curves and inter-packet gaps.
+
+These functions regenerate the measurement figures of Sec. 2 of the paper:
+
+* :func:`utilization_timeseries` → Fig. 3 (average AP downlink utilisation
+  per hour for a 6 Mbps backhaul);
+* :func:`gap_histogram` → Fig. 4 (fraction of idle time contributed by
+  inter-packet gaps of different sizes, using the paper's second-long bins
+  up to 21 s and the coarse 21-40 / 40-60 / >60 s bins).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.traces.models import Flow, WirelessTrace
+
+#: Bin edges of Fig. 4: 21 one-second bins, then 21-40, 40-60 and >60 s.
+FIGURE4_BIN_EDGES: Tuple[float, ...] = tuple(float(i) for i in range(22)) + (40.0, 60.0, float("inf"))
+
+#: Human-readable labels for the Fig. 4 bins.
+FIGURE4_BIN_LABELS: Tuple[str, ...] = tuple(
+    f"{i}-{i + 1}" for i in range(21)
+) + ("21-40", "40-60", ">60")
+
+
+def busy_intervals(
+    flows: Iterable[Flow], backhaul_bps: float, merge_gap: float = 0.0
+) -> List[Tuple[float, float]]:
+    """Intervals during which the backhaul link is transmitting.
+
+    Each flow is assumed to be served at the full backhaul rate starting at
+    its arrival (or when the link frees up, if it is still busy with earlier
+    flows), which is the standard busy-period construction of a work-
+    conserving FIFO link.  Overlapping or adjacent intervals (within
+    ``merge_gap`` seconds) are merged.
+    """
+    if backhaul_bps <= 0:
+        raise ValueError("backhaul_bps must be positive")
+    ordered = sorted(flows, key=lambda f: f.start_time)
+    intervals: List[Tuple[float, float]] = []
+    link_free_at = 0.0
+    for flow in ordered:
+        start = max(flow.start_time, link_free_at)
+        end = start + flow.size_bytes * 8.0 / backhaul_bps
+        link_free_at = end
+        if intervals and start - intervals[-1][1] <= merge_gap:
+            intervals[-1] = (intervals[-1][0], max(intervals[-1][1], end))
+        else:
+            intervals.append((start, end))
+    return intervals
+
+
+def idle_gaps(
+    flows: Iterable[Flow],
+    backhaul_bps: float,
+    window: Tuple[float, float] | None = None,
+) -> List[float]:
+    """Lengths of the idle gaps between busy periods of the backhaul link.
+
+    If ``window`` is given, only the portion of the timeline inside
+    ``[window[0], window[1])`` is considered, and leading/trailing idle time
+    inside the window is included as gaps.
+    """
+    intervals = busy_intervals(flows, backhaul_bps)
+    if window is not None:
+        w_start, w_end = window
+        clipped = []
+        for start, end in intervals:
+            if end <= w_start or start >= w_end:
+                continue
+            clipped.append((max(start, w_start), min(end, w_end)))
+        intervals = clipped
+    else:
+        if intervals:
+            w_start, w_end = 0.0, intervals[-1][1]
+        else:
+            return []
+
+    gaps: List[float] = []
+    cursor = w_start
+    for start, end in intervals:
+        if start > cursor:
+            gaps.append(start - cursor)
+        cursor = max(cursor, end)
+    if w_end > cursor:
+        gaps.append(w_end - cursor)
+    return [g for g in gaps if g > 0]
+
+
+def gap_histogram(
+    gaps: Sequence[float],
+    bin_edges: Sequence[float] = FIGURE4_BIN_EDGES,
+) -> List[float]:
+    """Fraction of total idle time contributed by gaps in each bin (percent).
+
+    This is exactly the metric of Fig. 4: for every bin, the sum of the gap
+    durations falling in that bin divided by the total idle time.
+    """
+    edges = list(bin_edges)
+    if len(edges) < 2:
+        raise ValueError("need at least two bin edges")
+    totals = [0.0] * (len(edges) - 1)
+    gaps = [g for g in gaps if g > 0]
+    total_idle = sum(gaps)
+    if total_idle == 0:
+        return [0.0] * (len(edges) - 1)
+    for gap in gaps:
+        for i in range(len(edges) - 1):
+            if edges[i] <= gap < edges[i + 1]:
+                totals[i] += gap
+                break
+        else:
+            totals[-1] += gap
+    return [100.0 * t / total_idle for t in totals]
+
+
+def fraction_of_idle_below(gaps: Sequence[float], threshold: float) -> float:
+    """Fraction of total idle time made of gaps shorter than ``threshold``."""
+    gaps = [g for g in gaps if g > 0]
+    total = sum(gaps)
+    if total == 0:
+        return 0.0
+    return sum(g for g in gaps if g < threshold) / total
+
+
+def utilization_timeseries(
+    trace: WirelessTrace,
+    backhaul_bps: float = 6e6,
+    bin_seconds: float = 3600.0,
+    per_gateway: bool = False,
+) -> Dict[str, np.ndarray]:
+    """Average downlink utilisation of the gateways over time.
+
+    Returns a dictionary with ``times`` (bin start, seconds) and
+    ``utilization_percent`` (average across gateways).  With
+    ``per_gateway=True`` the per-gateway matrix is included under
+    ``per_gateway_percent`` with shape ``(num_gateways, num_bins)``.
+    """
+    if backhaul_bps <= 0 or bin_seconds <= 0:
+        raise ValueError("backhaul_bps and bin_seconds must be positive")
+    num_bins = int(np.ceil(trace.duration / bin_seconds))
+    per_gw = np.zeros((trace.num_gateways, num_bins))
+    for gateway_id, flows in trace.flows_by_gateway().items():
+        for flow in flows:
+            # Spread the flow's bytes at the backhaul rate from its start time.
+            start = flow.start_time
+            duration = flow.size_bytes * 8.0 / backhaul_bps
+            end = min(start + duration, trace.duration)
+            first_bin = int(start // bin_seconds)
+            last_bin = min(int(end // bin_seconds), num_bins - 1)
+            for b in range(first_bin, last_bin + 1):
+                bin_start = b * bin_seconds
+                bin_end = bin_start + bin_seconds
+                overlap = max(0.0, min(end, bin_end) - max(start, bin_start))
+                per_gw[gateway_id, b] += overlap * backhaul_bps / 8.0
+    capacity_per_bin = backhaul_bps / 8.0 * bin_seconds
+    per_gw_percent = per_gw / capacity_per_bin * 100.0
+    result: Dict[str, np.ndarray] = {
+        "times": np.arange(num_bins) * bin_seconds,
+        "utilization_percent": per_gw_percent.mean(axis=0),
+    }
+    if per_gateway:
+        result["per_gateway_percent"] = per_gw_percent
+    return result
+
+
+def peak_hour(trace: WirelessTrace, backhaul_bps: float = 6e6) -> int:
+    """The busiest hour of the trace (0-23), by aggregate utilisation."""
+    series = utilization_timeseries(trace, backhaul_bps=backhaul_bps, bin_seconds=3600.0)
+    return int(np.argmax(series["utilization_percent"]))
+
+
+def peak_hour_gap_histogram(
+    trace: WirelessTrace, backhaul_bps: float = 6e6, hour: int | None = None
+) -> Dict[str, object]:
+    """Fig. 4: the gap histogram of the aggregate of each gateway's gaps at peak hour."""
+    hour = peak_hour(trace, backhaul_bps) if hour is None else hour
+    window = (hour * 3600.0, (hour + 1) * 3600.0)
+    all_gaps: List[float] = []
+    for flows in trace.flows_by_gateway().values():
+        all_gaps.extend(idle_gaps(flows, backhaul_bps, window=window))
+    return {
+        "hour": hour,
+        "labels": list(FIGURE4_BIN_LABELS),
+        "percent_of_idle_time": gap_histogram(all_gaps),
+        "fraction_below_60s": fraction_of_idle_below(all_gaps, 60.0),
+    }

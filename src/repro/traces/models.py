@@ -1,0 +1,257 @@
+"""Data model for traffic traces.
+
+The simulator is flow-driven, mirroring the testbed methodology of the
+paper (Sec. 5.3): "for each flow, we record the timestamp t and the amount
+of bytes b reported in the traces and we replay it".  Packets are kept as a
+secondary representation for the inter-packet-gap analysis of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+SECONDS_PER_DAY = 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single downlink packet observed at a client.
+
+    Attributes:
+        time: arrival time in seconds from trace start.
+        size: payload size in bytes.
+        client_id: identifier of the receiving client.
+    """
+
+    time: float
+    size: int
+    client_id: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"packet time must be non-negative, got {self.time}")
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A downlink transfer: ``size_bytes`` requested at ``start_time``.
+
+    Attributes:
+        flow_id: unique identifier within the trace.
+        client_id: identifier of the requesting client.
+        start_time: request time in seconds from trace start.
+        size_bytes: number of bytes to transfer.
+        kind: free-form label ("web", "keepalive", "bulk", ...), used only
+            for reporting.
+    """
+
+    flow_id: int
+    client_id: int
+    start_time: float
+    size_bytes: int
+    kind: str = "web"
+
+    def __post_init__(self) -> None:
+        if self.start_time < 0:
+            raise ValueError(f"flow start_time must be non-negative, got {self.start_time}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"flow size must be positive, got {self.size_bytes}")
+
+    def duration_at(self, rate_bps: float) -> float:
+        """Transfer duration if served at a constant rate of ``rate_bps``."""
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        return self.size_bytes * 8.0 / rate_bps
+
+
+@dataclass
+class ClientTrace:
+    """All traffic of one client over the trace duration."""
+
+    client_id: int
+    flows: List[Flow] = field(default_factory=list)
+
+    def sorted_flows(self) -> List[Flow]:
+        """Flows ordered by start time."""
+        return sorted(self.flows, key=lambda f: f.start_time)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total downlink volume of the client."""
+        return sum(f.size_bytes for f in self.flows)
+
+    def flows_between(self, t_start: float, t_end: float) -> List[Flow]:
+        """Flows starting in the half-open interval ``[t_start, t_end)``."""
+        return [f for f in self.flows if t_start <= f.start_time < t_end]
+
+
+@dataclass
+class WirelessTrace:
+    """A complete trace: clients, their home gateways and their flows.
+
+    Attributes:
+        duration: trace length in seconds.
+        clients: mapping of client id to :class:`ClientTrace`.
+        home_gateway: mapping of client id to its home gateway id.
+        num_gateways: number of gateways (access points) in the deployment.
+    """
+
+    duration: float
+    clients: Dict[int, ClientTrace]
+    home_gateway: Dict[int, int]
+    num_gateways: int
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("trace duration must be positive")
+        missing = set(self.clients) - set(self.home_gateway)
+        if missing:
+            raise ValueError(f"clients without a home gateway: {sorted(missing)[:5]} ...")
+        bad_gateways = {g for g in self.home_gateway.values() if not 0 <= g < self.num_gateways}
+        if bad_gateways:
+            raise ValueError(f"home gateway ids out of range: {sorted(bad_gateways)}")
+
+    # -- convenience accessors ------------------------------------------------
+    @property
+    def num_clients(self) -> int:
+        """Number of clients in the trace."""
+        return len(self.clients)
+
+    @property
+    def num_flows(self) -> int:
+        """Total number of flows across all clients."""
+        return sum(len(c.flows) for c in self.clients.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Total downlink volume across all clients."""
+        return sum(c.total_bytes for c in self.clients.values())
+
+    def all_flows(self) -> List[Flow]:
+        """All flows across all clients, ordered by start time."""
+        flows: List[Flow] = []
+        for client in self.clients.values():
+            flows.extend(client.flows)
+        flows.sort(key=lambda f: f.start_time)
+        return flows
+
+    def flows_by_gateway(self) -> Dict[int, List[Flow]]:
+        """Flows grouped by the home gateway of their client."""
+        grouped: Dict[int, List[Flow]] = {g: [] for g in range(self.num_gateways)}
+        for client_id, client in self.clients.items():
+            grouped[self.home_gateway[client_id]].extend(client.flows)
+        for flows in grouped.values():
+            flows.sort(key=lambda f: f.start_time)
+        return grouped
+
+    def clients_of_gateway(self, gateway_id: int) -> List[int]:
+        """Client ids whose home gateway is ``gateway_id``."""
+        return [c for c, g in self.home_gateway.items() if g == gateway_id]
+
+    def restricted_to_window(self, t_start: float, t_end: float) -> "WirelessTrace":
+        """A copy of the trace containing only flows in ``[t_start, t_end)``.
+
+        Flow start times are shifted so that ``t_start`` becomes 0.
+        """
+        if not 0 <= t_start < t_end <= self.duration:
+            raise ValueError("invalid window")
+        clients = {}
+        for client_id, client in self.clients.items():
+            flows = [
+                Flow(
+                    flow_id=f.flow_id,
+                    client_id=f.client_id,
+                    start_time=f.start_time - t_start,
+                    size_bytes=f.size_bytes,
+                    kind=f.kind,
+                )
+                for f in client.flows_between(t_start, t_end)
+            ]
+            clients[client_id] = ClientTrace(client_id=client_id, flows=flows)
+        return WirelessTrace(
+            duration=t_end - t_start,
+            clients=clients,
+            home_gateway=dict(self.home_gateway),
+            num_gateways=self.num_gateways,
+        )
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of a trace, used for validation and reporting."""
+
+    num_clients: int
+    num_gateways: int
+    num_flows: int
+    total_bytes: int
+    duration: float
+    mean_utilization: float
+    peak_hour: int
+    peak_hour_utilization: float
+
+    @classmethod
+    def from_trace(cls, trace: WirelessTrace, backhaul_bps: float = 6e6) -> "TraceStats":
+        """Compute statistics assuming each gateway has ``backhaul_bps`` backhaul."""
+        hours = int(trace.duration // 3600)
+        per_hour_bytes = [0.0] * max(hours, 1)
+        for flow in trace.all_flows():
+            hour = min(int(flow.start_time // 3600), len(per_hour_bytes) - 1)
+            per_hour_bytes[hour] += flow.size_bytes
+        capacity_per_hour = backhaul_bps / 8.0 * 3600.0 * trace.num_gateways
+        per_hour_util = [b / capacity_per_hour for b in per_hour_bytes]
+        peak_hour = max(range(len(per_hour_util)), key=lambda h: per_hour_util[h])
+        total_capacity = capacity_per_hour * len(per_hour_bytes)
+        return cls(
+            num_clients=trace.num_clients,
+            num_gateways=trace.num_gateways,
+            num_flows=trace.num_flows,
+            total_bytes=trace.total_bytes,
+            duration=trace.duration,
+            mean_utilization=trace.total_bytes / total_capacity if total_capacity else 0.0,
+            peak_hour=peak_hour,
+            peak_hour_utilization=per_hour_util[peak_hour],
+        )
+
+
+def merge_traces(traces: Iterable[WirelessTrace]) -> WirelessTrace:
+    """Merge several traces over the same gateway set into one.
+
+    Client ids are re-numbered to avoid collisions; the duration is the
+    maximum of the inputs.
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValueError("merge_traces() requires at least one trace")
+    num_gateways = traces[0].num_gateways
+    if any(t.num_gateways != num_gateways for t in traces):
+        raise ValueError("all traces must share the same number of gateways")
+    clients: Dict[int, ClientTrace] = {}
+    home: Dict[int, int] = {}
+    next_id = 0
+    flow_id = 0
+    for trace in traces:
+        for client_id, client in trace.clients.items():
+            flows = []
+            for f in client.flows:
+                flows.append(
+                    Flow(
+                        flow_id=flow_id,
+                        client_id=next_id,
+                        start_time=f.start_time,
+                        size_bytes=f.size_bytes,
+                        kind=f.kind,
+                    )
+                )
+                flow_id += 1
+            clients[next_id] = ClientTrace(client_id=next_id, flows=flows)
+            home[next_id] = trace.home_gateway[client_id]
+            next_id += 1
+    return WirelessTrace(
+        duration=max(t.duration for t in traces),
+        clients=clients,
+        home_gateway=home,
+        num_gateways=num_gateways,
+    )

@@ -1,0 +1,130 @@
+"""Gateway load estimation from overheard 802.11 MAC sequence numbers.
+
+Every 802.11 frame a gateway transmits carries a 12-bit MAC sequence number
+(SN).  A terminal that periodically overhears the gateway's traffic can
+difference consecutive SNs to count how many frames the gateway sent in the
+interval, convert that to bytes with an average frame size, and hence
+estimate the gateway's backhaul utilisation without associating or
+exchanging any messages (Sec. 3.2, following THEMIS [30]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+#: 802.11 sequence numbers are 12 bits wide.
+SEQUENCE_NUMBER_MODULUS = 4096
+
+
+@dataclass
+class LoadSample:
+    """One estimation sample: a time and an overheard sequence number."""
+
+    time_s: float
+    sequence_number: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sequence_number < SEQUENCE_NUMBER_MODULUS:
+            raise ValueError("sequence number out of range")
+        if self.time_s < 0:
+            raise ValueError("time must be non-negative")
+
+
+class SequenceNumberLoadEstimator:
+    """Estimates a gateway's backhaul load from SN observations.
+
+    The estimator keeps the samples observed during the current estimation
+    window (the paper uses 1-minute windows), unwraps the 12-bit counter and
+    converts the frame count to a utilisation estimate.
+    """
+
+    def __init__(
+        self,
+        backhaul_bps: float,
+        mean_frame_bytes: float = 1200.0,
+        window_s: float = 60.0,
+    ):
+        if backhaul_bps <= 0:
+            raise ValueError("backhaul_bps must be positive")
+        if mean_frame_bytes <= 0:
+            raise ValueError("mean_frame_bytes must be positive")
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.backhaul_bps = backhaul_bps
+        self.mean_frame_bytes = mean_frame_bytes
+        self.window_s = window_s
+        self._samples: List[LoadSample] = []
+
+    # ------------------------------------------------------------------
+    def observe(self, time_s: float, sequence_number: int) -> None:
+        """Record an overheard frame."""
+        sample = LoadSample(time_s=time_s, sequence_number=sequence_number)
+        if self._samples and sample.time_s < self._samples[-1].time_s:
+            raise ValueError("observations must be fed in time order")
+        self._samples.append(sample)
+        self._expire(time_s)
+
+    def frames_in_window(self) -> int:
+        """Number of frames the gateway sent during the current window."""
+        if len(self._samples) < 2:
+            return 0
+        total = 0
+        for previous, current in zip(self._samples, self._samples[1:]):
+            delta = (current.sequence_number - previous.sequence_number) % SEQUENCE_NUMBER_MODULUS
+            total += delta
+        return total
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Estimated backhaul utilisation over the current window (0..1)."""
+        if now is not None:
+            self._expire(now)
+        if len(self._samples) < 2:
+            return 0.0
+        span = self._samples[-1].time_s - self._samples[0].time_s
+        if span <= 0:
+            return 0.0
+        bits = self.frames_in_window() * self.mean_frame_bytes * 8.0
+        return min(1.0, bits / (self.backhaul_bps * span))
+
+    def reset(self) -> None:
+        """Drop all samples (e.g. after a hand-off)."""
+        self._samples.clear()
+
+    # ------------------------------------------------------------------
+    def _expire(self, now: float) -> None:
+        horizon = now - self.window_s
+        while len(self._samples) > 1 and self._samples[0].time_s < horizon:
+            self._samples.pop(0)
+
+
+def synthesize_observations(
+    true_utilization: float,
+    backhaul_bps: float,
+    window_s: float = 60.0,
+    sample_interval_s: float = 5.0,
+    mean_frame_bytes: float = 1200.0,
+    seed: int = 0,
+) -> List[LoadSample]:
+    """Generate the SN observations a terminal would overhear.
+
+    Useful for tests and for the testbed replay: given a true utilisation,
+    the gateway sends ``true_utilization * backhaul / (8 * frame)`` frames
+    per second on average; the terminal overhears the SN every
+    ``sample_interval_s`` seconds.
+    """
+    if not 0 <= true_utilization <= 1:
+        raise ValueError("true_utilization must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    frames_per_second = true_utilization * backhaul_bps / (8.0 * mean_frame_bytes)
+    samples: List[LoadSample] = []
+    sequence = int(rng.integers(SEQUENCE_NUMBER_MODULUS))
+    t = 0.0
+    while t <= window_s:
+        samples.append(LoadSample(time_s=t, sequence_number=sequence % SEQUENCE_NUMBER_MODULUS))
+        frames = rng.poisson(frames_per_second * sample_interval_s)
+        sequence += int(frames)
+        t += sample_interval_s
+    return samples

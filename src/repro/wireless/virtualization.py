@@ -1,0 +1,113 @@
+"""Wireless-card virtualisation and power-save based TDMA.
+
+A BH2 terminal keeps one *virtual* station per gateway in range and cycles
+through them using 802.11 power-save mode: it spends most of a TDMA period
+attached to the gateway it currently routes traffic through (the paper's
+prototype devotes 60 % of a 100 ms period to it) and divides the remainder
+equally among the other gateways in range, just long enough to overhear
+frames and estimate their load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+
+@dataclass(frozen=True)
+class TdmaSchedule:
+    """The time shares a virtualised card gives to each gateway in range."""
+
+    period_s: float
+    shares: Dict[int, float]
+    selected: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.shares:
+            total = sum(self.shares.values())
+            if total > 1.0 + 1e-9:
+                raise ValueError(f"TDMA shares sum to {total} > 1")
+            if any(s < 0 for s in self.shares.values()):
+                raise ValueError("TDMA shares must be non-negative")
+
+    def share_of(self, gateway_id: int) -> float:
+        """Fraction of airtime spent attached to ``gateway_id``."""
+        return self.shares.get(gateway_id, 0.0)
+
+
+class VirtualWirelessCard:
+    """A single physical radio virtualised across all gateways in range.
+
+    Parameters follow the prototype of Sec. 5.3: a 100 ms TDMA period with
+    60 % devoted to the selected gateway, the rest split evenly across the
+    monitored gateways.  The class computes the *effective* capacity toward
+    each gateway (wireless link rate × airtime share) which upper-bounds the
+    throughput a BH2 terminal can draw from it.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        reachable_gateways: FrozenSet[int],
+        period_s: float = 0.1,
+        selected_share: float = 0.6,
+    ):
+        if not reachable_gateways:
+            raise ValueError("a terminal must reach at least its home gateway")
+        if not 0 < selected_share <= 1:
+            raise ValueError("selected_share must lie in (0, 1]")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.client_id = client_id
+        self.reachable_gateways = frozenset(reachable_gateways)
+        self.period_s = period_s
+        self.selected_share = selected_share
+        self._selected: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def selected_gateway(self) -> Optional[int]:
+        """The gateway traffic is currently routed through."""
+        return self._selected
+
+    def select(self, gateway_id: int) -> None:
+        """Attach the data path to ``gateway_id``."""
+        if gateway_id not in self.reachable_gateways:
+            raise ValueError(
+                f"client {self.client_id} cannot reach gateway {gateway_id}"
+            )
+        self._selected = gateway_id
+
+    def schedule(self) -> TdmaSchedule:
+        """The current TDMA schedule across the reachable gateways."""
+        others = [g for g in self.reachable_gateways if g != self._selected]
+        shares: Dict[int, float] = {}
+        if self._selected is None:
+            # Pure monitoring: split the period evenly.
+            if others:
+                even = 1.0 / len(self.reachable_gateways)
+                shares = {g: even for g in self.reachable_gateways}
+            else:
+                shares = {next(iter(self.reachable_gateways)): 1.0}
+        else:
+            if others:
+                shares[self._selected] = self.selected_share
+                monitor_share = (1.0 - self.selected_share) / len(others)
+                for g in others:
+                    shares[g] = monitor_share
+            else:
+                shares[self._selected] = 1.0
+        return TdmaSchedule(period_s=self.period_s, shares=shares, selected=self._selected)
+
+    def effective_capacity(self, gateway_id: int, link_capacity_bps: float) -> float:
+        """Throughput the terminal can sustain toward ``gateway_id``.
+
+        The airtime share caps the wireless link rate.  The paper verified
+        that a 60 % share is enough to collect the whole ADSL backhaul of
+        the selected gateway because wireless rates exceed backhaul rates.
+        """
+        if link_capacity_bps <= 0:
+            raise ValueError("link_capacity_bps must be positive")
+        return self.schedule().share_of(gateway_id) * link_capacity_bps

@@ -1,0 +1,109 @@
+"""Tests for the figure regeneration helpers, the report module and the CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import figures, report
+from repro.cli import build_parser, main
+from repro.traces.synthetic import generate_crawdad_like_trace
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_crawdad_like_trace(seed=9, num_clients=40, num_gateways=8, duration=24 * 3600.0)
+
+
+def test_figure2_series_shapes():
+    data = figures.figure2()
+    assert len(data["hours"]) == 24
+    assert len(data["avg_downlink_percent"]) == 24
+    assert max(data["avg_downlink_percent"]) < 15.0
+
+
+def test_figure3_uses_supplied_trace(small_trace):
+    data = figures.figure3(small_trace)
+    assert len(data["hours"]) == 24
+    assert max(data["avg_utilization_percent"]) < 20.0
+
+
+def test_figure4_histogram(small_trace):
+    data = figures.figure4(small_trace)
+    assert len(data["labels"]) == len(data["percent_of_idle_time"])
+    assert sum(data["percent_of_idle_time"]) == pytest.approx(100.0, abs=1.0)
+    assert 0.0 <= data["fraction_below_60s"] <= 1.0
+
+
+def test_figure5_curves():
+    data = figures.figure5(k_values=(2, 4), p_values=(0.5,), monte_carlo_trials=200)
+    assert set(data) == {"p=0.5 k=2", "p=0.5 k=4"}
+    entry = data["p=0.5 k=4"]
+    assert len(entry["paper_eq2"]) == 4
+    assert len(entry["monte_carlo"]) == 4
+    # Both forms agree on the first card and decrease with the card index.
+    assert entry["paper_eq2"][0] == pytest.approx(entry["exact"][0])
+    assert entry["exact"][0] >= entry["exact"][-1]
+
+
+def test_figure14_and_15_data():
+    crosstalk = figures.figure14(num_sequences=1)
+    assert len(crosstalk) == 4
+    attenuation = figures.figure15()
+    assert len(attenuation["card_ids"]) == 14
+    assert attenuation["means_are_similar"]
+
+
+def test_evaluation_scales():
+    assert figures.quick_scale().num_gateways < figures.full_scale().num_gateways
+    assert figures.full_scale().runs_per_scheme == 10
+
+
+def test_report_format_table():
+    text = report.format_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "2.50" in text
+
+
+def test_report_render_key_values_and_summary():
+    text = report.render_key_values({"alpha": 1.234567, "beta": "hi"}, title="T")
+    assert text.startswith("T")
+    assert "1.235" in text
+    summary = report.render_summary({"SoI": {"mean": 1.0}})
+    assert "SoI" in summary
+    assert report.render_summary({}) == "(no results)"
+
+
+def test_report_render_series():
+    series = {"SoI": {"hours": [0.0, 1.0], "savings_percent": [10.0, 20.0]}}
+    text = report.render_series(series, "hours", "savings_percent")
+    assert "SoI" in text and "20.00" in text
+
+
+def test_cli_parser_has_all_commands():
+    parser = build_parser()
+    for command in ["trace", "simulate", "figure", "crosstalk", "testbed"]:
+        args = parser.parse_args([command] if command != "figure" else ["figure", "5"])
+        assert args.command == command
+
+
+def test_cli_trace_command(tmp_path, capsys):
+    output = tmp_path / "trace.csv"
+    code = main(["trace", "--clients", "10", "--gateways", "4", "--hours", "1", "--output", str(output)])
+    assert code == 0
+    assert output.exists()
+    captured = capsys.readouterr().out
+    assert "Synthetic trace statistics" in captured
+
+
+def test_cli_figure5_json(capsys):
+    code = main(["figure", "5", "--json"])
+    assert code == 0
+    data = json.loads(capsys.readouterr().out)
+    assert any(key.startswith("p=") for key in data)
+
+
+def test_cli_unknown_scheme_errors(capsys):
+    code = main(["simulate", "--clients", "6", "--gateways", "3", "--hours", "0.2",
+                 "--schemes", "does-not-exist"])
+    assert code == 2

@@ -1,0 +1,62 @@
+"""Tests for the scheme configuration factories."""
+
+import pytest
+
+from repro.core.schemes import (
+    AggregationKind,
+    SchemeConfig,
+    SwitchingKind,
+    all_schemes,
+    bh2_kswitch,
+    bh2_no_backup_kswitch,
+    no_sleep,
+    optimal,
+    soi,
+    soi_kswitch,
+    standard_schemes,
+)
+
+
+def test_no_sleep_never_sleeps():
+    scheme = no_sleep()
+    assert not scheme.sleep_enabled
+    assert scheme.aggregation is AggregationKind.NONE
+
+
+def test_soi_variants():
+    assert soi().switching is SwitchingKind.NONE
+    assert soi_kswitch().switching is SwitchingKind.KSWITCH
+
+
+def test_bh2_schemes_backup():
+    assert bh2_kswitch().bh2.backup == 1
+    assert bh2_no_backup_kswitch().bh2.backup == 0
+    assert bh2_kswitch(backup=2).name.endswith("(backup=2)")
+
+
+def test_optimal_is_idealized_full_switch():
+    scheme = optimal()
+    assert scheme.idealized_transitions
+    assert scheme.switching is SwitchingKind.FULL
+    assert scheme.aggregation is AggregationKind.OPTIMAL
+    assert scheme.bh2.backup == 0
+
+
+def test_standard_schemes_cover_figure6():
+    names = [s.name for s in standard_schemes()]
+    assert names == ["no-sleep", "SoI", "SoI+k-switch", "BH2+k-switch", "Optimal"]
+
+
+def test_all_schemes_unique_names():
+    schemes = all_schemes()
+    assert len(schemes) == 8
+    assert all(isinstance(s, SchemeConfig) for s in schemes.values())
+
+
+def test_scheme_validation_and_rename():
+    with pytest.raises(ValueError):
+        SchemeConfig(name="", sleep_enabled=True, aggregation=AggregationKind.NONE,
+                     switching=SwitchingKind.NONE)
+    renamed = soi().with_name("SoI (ablation)")
+    assert renamed.name == "SoI (ablation)"
+    assert renamed.sleep_enabled

@@ -1,0 +1,137 @@
+"""Tests for topology generation and scenario construction."""
+
+import numpy as np
+import pytest
+
+from repro.topology.overlap import (
+    GatewayTopology,
+    binomial_connectivity,
+    generate_overlap_topology,
+    residential_degree_sequence,
+)
+from repro.topology.scenario import (
+    DslamConfig,
+    Scenario,
+    WirelessParameters,
+    build_default_scenario,
+    random_port_assignment,
+)
+from repro.traces.synthetic import generate_crawdad_like_trace
+
+
+def homes(num_clients, num_gateways):
+    return {c: c % num_gateways for c in range(num_clients)}
+
+
+def test_degree_sequence_mean_and_parity():
+    degrees = residential_degree_sequence(200, mean_degree=4.6, seed=1)
+    assert sum(degrees) % 2 == 0
+    assert 3.5 <= np.mean(degrees) <= 5.7
+    assert all(0 <= d <= 199 for d in degrees)
+
+
+def test_degree_sequence_small_populations():
+    assert residential_degree_sequence(1) == [0]
+    assert residential_degree_sequence(0) == []
+
+
+def test_overlap_topology_connectivity_and_reachability():
+    home = homes(60, 20)
+    topology = generate_overlap_topology(home, 20, mean_networks_in_range=5.6, seed=3)
+    assert topology.num_clients == 60
+    for client, reachable in topology.reachable.items():
+        assert home[client] in reachable
+    assert 2.0 <= topology.mean_reachable() <= 9.0
+    # The gateway graph is connected by construction.
+    import networkx as nx
+    assert nx.is_connected(topology.gateway_graph)
+
+
+def test_overlap_topology_requires_home_in_range():
+    with pytest.raises(ValueError):
+        generate_overlap_topology(homes(4, 2), 2, mean_networks_in_range=0.5)
+
+
+def test_binomial_connectivity_mean_available():
+    home = homes(400, 40)
+    topology = binomial_connectivity(home, 40, mean_available=4.0, seed=7)
+    assert abs(topology.mean_reachable() - 4.0) < 0.5
+
+
+def test_binomial_connectivity_density_one_is_home_only():
+    topology = binomial_connectivity(homes(50, 10), 10, mean_available=1.0, seed=0)
+    assert all(len(r) == 1 for r in topology.reachable.values())
+
+
+def test_gateway_topology_validation():
+    with pytest.raises(ValueError):
+        GatewayTopology(num_gateways=2, home_gateway={0: 5}, reachable={0: frozenset({5})})
+    with pytest.raises(ValueError):
+        GatewayTopology(num_gateways=2, home_gateway={0: 0}, reachable={0: frozenset({1})})
+
+
+def test_topology_helper_queries():
+    topology = binomial_connectivity(homes(20, 5), 5, mean_available=3.0, seed=1)
+    client = 0
+    assert topology.home_gateway[client] not in topology.neighbours_of(client)
+    reaching = topology.clients_reaching(topology.home_gateway[client])
+    assert client in reaching
+
+
+def test_wireless_parameters_validation_and_scaling():
+    params = WirelessParameters()
+    assert params.wireless_capacity(is_home=True) == 12e6
+    assert params.wireless_capacity(is_home=False) == 6e6
+    scaled = params.scaled(3.0)
+    assert scaled.backhaul_bps == pytest.approx(18e6)
+    with pytest.raises(ValueError):
+        params.scaled(0.0)
+
+
+def test_dslam_config_validation():
+    config = DslamConfig()
+    assert config.total_ports == 48
+    with pytest.raises(ValueError):
+        DslamConfig(switch_size=8)  # k cannot exceed the number of cards
+    with pytest.raises(ValueError):
+        DslamConfig(num_line_cards=0)
+    full = config.with_switch(None, full=True)
+    assert full.full_switch
+
+
+def test_random_port_assignment_unique_ports():
+    config = DslamConfig()
+    assignment = random_port_assignment(40, config, seed=3)
+    assert len(set(assignment.values())) == 40
+    with pytest.raises(ValueError):
+        random_port_assignment(100, config)
+
+
+def test_build_default_scenario_consistency():
+    scenario = build_default_scenario(seed=5, num_clients=30, num_gateways=8, duration=3600.0)
+    assert scenario.num_clients == 30
+    assert scenario.num_gateways == 8
+    assert len(scenario.gateway_port) == 8
+    assert scenario.card_of_gateway(0) == scenario.gateway_port[0] // scenario.dslam.ports_per_card
+
+
+def test_build_default_scenario_density_override():
+    scenario = build_default_scenario(seed=5, num_clients=30, num_gateways=8, duration=3600.0,
+                                      density_override=2.0)
+    assert scenario.topology.gateway_graph is None
+    assert scenario.topology.mean_reachable() < 4.0
+
+
+def test_scenario_rejects_too_many_gateways():
+    trace = generate_crawdad_like_trace(seed=1, num_clients=10, num_gateways=60, duration=600.0)
+    from repro.topology.overlap import binomial_connectivity as bc
+    topology = bc(trace.home_gateway, 60, mean_available=2.0)
+    with pytest.raises(ValueError):
+        Scenario(trace=trace, topology=topology, dslam=DslamConfig())
+
+
+def test_scenario_with_dslam_keeps_ports():
+    scenario = build_default_scenario(seed=5, num_clients=20, num_gateways=8, duration=3600.0)
+    other = scenario.with_dslam(scenario.dslam.with_switch(2))
+    assert other.gateway_port == scenario.gateway_port
+    assert other.dslam.switch_size == 2
