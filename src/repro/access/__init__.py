@@ -9,6 +9,7 @@ as few line cards as possible (Sec. 4 of the paper).
 
 from repro.access.soi import SoIConfig
 from repro.access.gateway import Gateway
+from repro.access.gateway_array import GatewayArray, GatewayView
 from repro.access.kswitch import (
     KSwitchBank,
     card_sleep_probability_exact,
@@ -21,6 +22,8 @@ from repro.access.dslam import Dslam, LineCard, SwitchingMode
 __all__ = [
     "SoIConfig",
     "Gateway",
+    "GatewayArray",
+    "GatewayView",
     "Dslam",
     "LineCard",
     "SwitchingMode",

@@ -1,0 +1,505 @@
+"""The whole neighbourhood's gateway state in one structure-of-arrays.
+
+:class:`GatewayArray` holds the Sleep-on-Idle state machines of every
+gateway of a scenario in parallel arrays (power-state codes, wake
+deadlines, last-traffic instants, sliding-window traffic counters) and
+advances them in lockstep.  The design goal is O(changes), not O(gateways),
+per simulator step:
+
+* state-duration statistics are accrued lazily at transitions (the seed
+  added ``dt`` to a counter per gateway per step),
+* wake completions are gated by a single cached "earliest wake deadline"
+  scalar, so the per-step check is one comparison,
+* idle-timeout sleeps are gated by a conservative "earliest possible sleep"
+  scalar that is only re-derived when it actually fires (deadlines can only
+  move later once recorded, so the cached minimum is always safe),
+* sliding-window load samples live in per-gateway parallel time/bits lists
+  trimmed lazily at query time.
+
+The per-gateway semantics are exactly those of
+:class:`repro.access.gateway.Gateway` (which remains available for direct
+use): same transition rules, same sliding-window load estimation, same
+idle-timeout behaviour.  :class:`GatewayView` wraps one index behind the
+familiar ``Gateway`` attribute API so existing call sites
+(``simulator.gateways[g].is_online`` etc.) keep working.
+"""
+
+from __future__ import annotations
+
+from math import inf
+from typing import Container, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.access.soi import SoIConfig
+from repro.power.models import PowerState
+
+#: Integer state codes used in :attr:`GatewayArray.state`.
+STATE_SLEEPING = 0
+STATE_WAKING = 1
+STATE_ACTIVE = 2
+
+_CODE_TO_STATE = {
+    STATE_SLEEPING: PowerState.SLEEPING,
+    STATE_WAKING: PowerState.WAKING,
+    STATE_ACTIVE: PowerState.ACTIVE,
+}
+
+#: Compact the lazily-trimmed sample lists once this many entries expired.
+_SAMPLE_COMPACT_THRESHOLD = 512
+
+
+class GatewayArray:
+    """State machines of ``num_gateways`` gateways, advanced in lockstep.
+
+    ``track_load`` controls whether the per-gateway sliding-window traffic
+    samples (used by :meth:`utilization`) are maintained; schemes that never
+    observe gateway load (plain SoI, no-sleep) can disable it and skip the
+    bookkeeping entirely.
+    """
+
+    def __init__(
+        self,
+        num_gateways: int,
+        backhaul_bps: float,
+        soi: Optional[SoIConfig] = None,
+        sleep_enabled: bool = True,
+        load_window_s: float = 60.0,
+        initially_sleeping: bool = True,
+        track_load: bool = True,
+    ):
+        if num_gateways <= 0:
+            raise ValueError("num_gateways must be positive")
+        if backhaul_bps <= 0:
+            raise ValueError("backhaul_bps must be positive")
+        if load_window_s <= 0:
+            raise ValueError("load_window_s must be positive")
+        self.num_gateways = num_gateways
+        self.backhaul_bps = backhaul_bps
+        self.soi = soi or SoIConfig()
+        self.sleep_enabled = sleep_enabled
+        self.load_window_s = load_window_s
+        self.track_load = track_load
+
+        initial = STATE_SLEEPING if sleep_enabled and initially_sleeping else STATE_ACTIVE
+        n = num_gateways
+        self.state: List[int] = [initial] * n
+        self.last_traffic_at: List[float] = [0.0] * n
+        self.online_seconds: List[float] = [0.0] * n
+        self.waking_seconds: List[float] = [0.0] * n
+        self.sleeping_seconds: List[float] = [0.0] * n
+        self.wake_count: List[int] = [0] * n
+        self.sleep_count: List[int] = [0] * n
+        self.bits_served: List[float] = [0.0] * n
+        #: Bumped on every state change; callers cache derived structures
+        #: (online sets, DSLAM wiring, device counts) against it.
+        self.version = 0
+
+        self.active_count = n if initial == STATE_ACTIVE else 0
+        self.waking_count = 0
+
+        # Lazy state-duration accrual: time each gateway entered its state.
+        self._entered_at: List[float] = [0.0] * n
+        # Wake deadlines of currently waking gateways + cached minimum.
+        self._wake_deadline: Dict[int, float] = {}
+        self._min_wake_deadline = inf
+        # Conservative earliest instant any gateway could go to sleep.
+        self._sleep_check_at = (
+            self.soi.idle_timeout_s if (sleep_enabled and initial == STATE_ACTIVE) else inf
+        )
+        # With a zero idle timeout the sleep scan fires every step; counting
+        # pinned-active gateways lets step_to skip it when nothing can sleep.
+        self._count_pins = sleep_enabled and self.soi.idle_timeout_s == 0.0
+
+        # Sliding-window traffic samples: parallel (time, bits) lists with a
+        # lazily-advanced head index.
+        self._sample_times: List[List[float]] = [[] for _ in range(n)]
+        self._sample_bits: List[List[float]] = [[] for _ in range(n)]
+        self._sample_head: List[int] = [0] * n
+        # Exact utilisation-sum cache: (head, len, sum) per gateway — valid
+        # whenever the live slice of the sample list is unchanged.
+        self._util_cache: List[Tuple[int, int, float]] = [(0, 0, 0.0)] * n
+
+    # ------------------------------------------------------------------
+    # Counts and id sets
+    # ------------------------------------------------------------------
+    def online_waking_counts(self) -> Tuple[int, int]:
+        """``(active, waking)`` gateway counts."""
+        return self.active_count, self.waking_count
+
+    def not_sleeping_ids(self) -> List[int]:
+        """Ids of gateways that are powered (active or waking)."""
+        state = self.state
+        return [g for g in range(self.num_gateways) if state[g] != STATE_SLEEPING]
+
+    def online_ids(self) -> List[int]:
+        """Ids of gateways that can carry traffic right now."""
+        state = self.state
+        return [g for g in range(self.num_gateways) if state[g] == STATE_ACTIVE]
+
+    # ------------------------------------------------------------------
+    # Mutations (mirroring Gateway semantics exactly)
+    # ------------------------------------------------------------------
+    def _change_state(self, gateway_id: int, new_state: int, now: float) -> None:
+        """Transition one gateway, accruing the time spent in the old state."""
+        old_state = self.state[gateway_id]
+        elapsed = now - self._entered_at[gateway_id]
+        if old_state == STATE_ACTIVE:
+            self.online_seconds[gateway_id] += elapsed
+            self.active_count -= 1
+        elif old_state == STATE_WAKING:
+            self.waking_seconds[gateway_id] += elapsed
+            self.waking_count -= 1
+        else:
+            self.sleeping_seconds[gateway_id] += elapsed
+        self.state[gateway_id] = new_state
+        self._entered_at[gateway_id] = now
+        if new_state == STATE_ACTIVE:
+            self.active_count += 1
+        elif new_state == STATE_WAKING:
+            self.waking_count += 1
+        self.version += 1
+
+    def request_wake(self, gateway_id: int, now: float) -> None:
+        """Ask a sleeping gateway to power on; waking/active ones ignore it."""
+        if self.state[gateway_id] == STATE_SLEEPING:
+            self._change_state(gateway_id, STATE_WAKING, now)
+            deadline = now + self.soi.wake_up_time_s
+            self._wake_deadline[gateway_id] = deadline
+            if deadline < self._min_wake_deadline:
+                self._min_wake_deadline = deadline
+            self.wake_count[gateway_id] += 1
+
+    def touch(self, gateway_id: int, now: float) -> None:
+        """Mark traffic presence without volume (e.g. a pending arrival)."""
+        if now > self.last_traffic_at[gateway_id]:
+            self.last_traffic_at[gateway_id] = now
+
+    def record_step_totals(
+        self, step_ends: Sequence[float], per_step_totals: Sequence[Dict[int, float]]
+    ) -> None:
+        """Report the bits served per gateway for a run of simulator steps.
+
+        Reproduces, sample for sample, what per-step
+        ``Gateway.record_traffic`` calls would have stored: one
+        ``(step_end, bits)`` sample per gateway per step with traffic.
+        """
+        track = self.track_load
+        last_traffic = self.last_traffic_at
+        bits_served = self.bits_served
+        times = self._sample_times
+        sample_bits = self._sample_bits
+        for end, totals in zip(step_ends, per_step_totals):
+            for gateway_id, bits in totals.items():
+                if bits > 0:
+                    bits_served[gateway_id] += bits
+                    last_traffic[gateway_id] = end
+                    if track:
+                        times[gateway_id].append(end)
+                        sample_bits[gateway_id].append(bits)
+
+    # ------------------------------------------------------------------
+    # Load estimation
+    # ------------------------------------------------------------------
+    def _trim_samples(self, gateway_id: int, now: float) -> int:
+        horizon = now - self.load_window_s
+        times = self._sample_times[gateway_id]
+        head = self._sample_head[gateway_id]
+        end = len(times)
+        while head < end and times[head] < horizon:
+            head += 1
+        if head >= _SAMPLE_COMPACT_THRESHOLD:
+            del times[:head]
+            del self._sample_bits[gateway_id][:head]
+            head = 0
+        self._sample_head[gateway_id] = head
+        return head
+
+    def utilization(self, gateway_id: int, now: float) -> float:
+        """Backhaul utilisation over the trailing load window (0..1)."""
+        window = self.load_window_s
+        times = self._sample_times[gateway_id]
+        length = len(times)
+        cached_head, cached_length, bits = self._util_cache[gateway_id]
+        if (
+            cached_length == length
+            and now >= window
+            and (cached_head == length or times[cached_head] >= now - window)
+        ):
+            # Nothing appended and nothing expired: the cached window sum
+            # (and the constant window width) give the exact same value.
+            load = bits / (self.backhaul_bps * window)
+            return load if load < 1.0 else 1.0
+        head = self._trim_samples(gateway_id, now)
+        sample_bits = self._sample_bits[gateway_id]
+        length = len(sample_bits)
+        bits = sum(sample_bits[head:]) if head else sum(sample_bits)
+        self._util_cache[gateway_id] = (head, length, bits)
+        window = min(window, max(now, 1e-9))
+        load = bits / (self.backhaul_bps * window)
+        return load if load < 1.0 else 1.0
+
+    def idle_for(self, gateway_id: int, now: float) -> float:
+        """Seconds since the last traffic through a gateway."""
+        return max(0.0, now - self.last_traffic_at[gateway_id])
+
+    # ------------------------------------------------------------------
+    # Time stepping
+    # ------------------------------------------------------------------
+    def step_to(
+        self,
+        end: float,
+        pending: Container[int] | Iterable[int],
+        extra_pending: Container[int] | Iterable[int] = (),
+    ) -> bool:
+        """Advance every state machine to instant ``end``.
+
+        ``pending`` (and the optional ``extra_pending``) hold the gateway
+        ids that have traffic assigned (active or waiting flows, or an
+        external keep-online directive); they get their idle clock re-armed
+        and can never hit the idle timeout, exactly as in ``Gateway.step``.
+        Transitions (wake completion, idle-timeout sleep) are evaluated at
+        ``end``; callers must guarantee no transition falls strictly inside
+        the advanced interval.  Returns whether any gateway changed state.
+        """
+        last_traffic = self.last_traffic_at
+        if self._count_pins:
+            # Zero idle timeout: the sleep scan would otherwise run every
+            # step, so count how many active gateways are pinned — when all
+            # of them are, nothing can sleep and the scan is skipped.
+            state = self.state
+            pinned_active = 0
+            for gateway_id in pending:
+                last_traffic[gateway_id] = end
+                if state[gateway_id] == STATE_ACTIVE:
+                    pinned_active += 1
+            for gateway_id in extra_pending:
+                if last_traffic[gateway_id] != end:
+                    last_traffic[gateway_id] = end
+                    if state[gateway_id] == STATE_ACTIVE:
+                        pinned_active += 1
+        else:
+            pinned_active = -1
+            for gateway_id in pending:
+                last_traffic[gateway_id] = end
+            for gateway_id in extra_pending:
+                last_traffic[gateway_id] = end
+        changed = False
+        woken: List[int] = []
+        if end >= self._min_wake_deadline:
+            woken = [
+                g for g, deadline in self._wake_deadline.items() if end >= deadline
+            ]
+            for gateway_id in woken:
+                del self._wake_deadline[gateway_id]
+                self._change_state(gateway_id, STATE_ACTIVE, end)
+                last_traffic[gateway_id] = end  # fresh boot restarts the idle clock
+            self._min_wake_deadline = (
+                min(self._wake_deadline.values()) if self._wake_deadline else inf
+            )
+            if self.sleep_enabled and woken:
+                candidate = end + self.soi.idle_timeout_s
+                if candidate < self._sleep_check_at:
+                    self._sleep_check_at = candidate
+            changed = bool(woken)
+        if self.sleep_enabled and end >= self._sleep_check_at:
+            timeout = self.soi.idle_timeout_s
+            if pinned_active == self.active_count and not woken:
+                # Every active gateway is pinned: nothing can sleep.
+                self._sleep_check_at = end + timeout
+                return changed
+            state = self.state
+            next_check = inf
+            for gateway_id in range(self.num_gateways):
+                if state[gateway_id] != STATE_ACTIVE:
+                    continue
+                # A gateway that completed waking this very step is not
+                # sleep-checked until the next one (the seed's elif).
+                if gateway_id in pending or gateway_id in woken or gateway_id in extra_pending:
+                    deadline = end + timeout
+                elif end - last_traffic[gateway_id] >= timeout:
+                    self._change_state(gateway_id, STATE_SLEEPING, end)
+                    self.sleep_count[gateway_id] += 1
+                    if self.track_load:
+                        self._sample_times[gateway_id].clear()
+                        self._sample_bits[gateway_id].clear()
+                        self._sample_head[gateway_id] = 0
+                        self._util_cache[gateway_id] = (0, 0, 0.0)
+                    changed = True
+                    continue
+                else:
+                    deadline = last_traffic[gateway_id] + timeout
+                if deadline < next_check:
+                    next_check = deadline
+            self._sleep_check_at = next_check
+        return changed
+
+    def min_transition_after(self) -> float:
+        """Conservative earliest instant any state machine may change state.
+
+        Never later than the true earliest transition (wake completion or
+        idle-timeout sleep), so it is always safe as a stretch bound.
+        """
+        bound = self._min_wake_deadline
+        if self.sleep_enabled and self._sleep_check_at < bound:
+            bound = self._sleep_check_at
+        return bound
+
+    def stretch_transition_bound(self, pending: Container[int]) -> float:
+        """Exact earliest transition for stretch planning.
+
+        Wake deadlines are tracked exactly; idle-timeout sleeps can only
+        come from gateways that are active and traffic-free *now* — a
+        pending gateway first has to drain, which the caller bounds
+        separately via the flow-completion guard.
+        """
+        bound = self._min_wake_deadline
+        if self.sleep_enabled:
+            timeout = self.soi.idle_timeout_s
+            state = self.state
+            last_traffic = self.last_traffic_at
+            for gateway_id in range(self.num_gateways):
+                if state[gateway_id] == STATE_ACTIVE and gateway_id not in pending:
+                    deadline = last_traffic[gateway_id] + timeout
+                    if deadline < bound:
+                        bound = deadline
+        return bound
+
+    def idle_transition_candidates(self, now: float) -> float:
+        """Seed-equivalent ``next_transition_time`` minimum for the idle path.
+
+        Mirrors the per-gateway scan of ``Gateway.next_transition_time``:
+        waking gateways transition at their wake deadline, sleep-capable
+        active gateways at ``last_traffic + idle_timeout``; only instants
+        strictly after ``now`` qualify.
+        """
+        best = inf
+        for deadline in self._wake_deadline.values():
+            if now < deadline < best:
+                best = deadline
+        if self.sleep_enabled:
+            timeout = self.soi.idle_timeout_s
+            state = self.state
+            last_traffic = self.last_traffic_at
+            for gateway_id in range(self.num_gateways):
+                if state[gateway_id] == STATE_ACTIVE:
+                    expiry = last_traffic[gateway_id] + timeout
+                    if now < expiry < best:
+                        best = expiry
+        return best
+
+    def flush_statistics(self, now: float) -> None:
+        """Accrue the in-progress state spans so the duration stats are final."""
+        for gateway_id in range(self.num_gateways):
+            elapsed = now - self._entered_at[gateway_id]
+            if elapsed <= 0:
+                continue
+            state = self.state[gateway_id]
+            if state == STATE_ACTIVE:
+                self.online_seconds[gateway_id] += elapsed
+            elif state == STATE_WAKING:
+                self.waking_seconds[gateway_id] += elapsed
+            else:
+                self.sleeping_seconds[gateway_id] += elapsed
+            self._entered_at[gateway_id] = now
+
+    # ------------------------------------------------------------------
+    def wake_remaining(self, gateway_id: int, now: float) -> float:
+        """Seconds left before a waking gateway becomes operational."""
+        deadline = self._wake_deadline.get(gateway_id)
+        if deadline is None:
+            return 0.0
+        return max(0.0, deadline - now)
+
+    def views(self) -> Dict[int, "GatewayView"]:
+        """One :class:`GatewayView` per gateway, keyed by id."""
+        return {g: GatewayView(self, g) for g in range(self.num_gateways)}
+
+
+class GatewayView:
+    """Read-mostly ``Gateway``-compatible view of one :class:`GatewayArray` slot."""
+
+    __slots__ = ("_array", "gateway_id")
+
+    def __init__(self, array: GatewayArray, gateway_id: int):
+        self._array = array
+        self.gateway_id = gateway_id
+
+    # -- identity ------------------------------------------------------
+    @property
+    def backhaul_bps(self) -> float:
+        return self._array.backhaul_bps
+
+    @property
+    def soi(self) -> SoIConfig:
+        return self._array.soi
+
+    @property
+    def sleep_enabled(self) -> bool:
+        return self._array.sleep_enabled
+
+    @property
+    def load_window_s(self) -> float:
+        return self._array.load_window_s
+
+    # -- state ---------------------------------------------------------
+    @property
+    def state(self) -> PowerState:
+        return _CODE_TO_STATE[self._array.state[self.gateway_id]]
+
+    @property
+    def is_online(self) -> bool:
+        return self._array.state[self.gateway_id] == STATE_ACTIVE
+
+    @property
+    def is_sleeping(self) -> bool:
+        return self._array.state[self.gateway_id] == STATE_SLEEPING
+
+    @property
+    def is_waking(self) -> bool:
+        return self._array.state[self.gateway_id] == STATE_WAKING
+
+    def wake_remaining(self, now: float) -> float:
+        return self._array.wake_remaining(self.gateway_id, now)
+
+    # -- statistics (accrued up to the last transition / flush) --------
+    @property
+    def online_seconds(self) -> float:
+        return self._array.online_seconds[self.gateway_id]
+
+    @property
+    def waking_seconds(self) -> float:
+        return self._array.waking_seconds[self.gateway_id]
+
+    @property
+    def sleeping_seconds(self) -> float:
+        return self._array.sleeping_seconds[self.gateway_id]
+
+    @property
+    def wake_count(self) -> int:
+        return self._array.wake_count[self.gateway_id]
+
+    @property
+    def sleep_count(self) -> int:
+        return self._array.sleep_count[self.gateway_id]
+
+    @property
+    def bits_served(self) -> float:
+        return self._array.bits_served[self.gateway_id]
+
+    # -- behaviour -----------------------------------------------------
+    def request_wake(self, now: float) -> None:
+        self._array.request_wake(self.gateway_id, now)
+
+    def touch(self, now: float) -> None:
+        self._array.touch(self.gateway_id, now)
+
+    def utilization(self, now: float) -> float:
+        return self._array.utilization(self.gateway_id, now)
+
+    def idle_for(self, now: float) -> float:
+        return self._array.idle_for(self.gateway_id, now)
+
+    def __repr__(self) -> str:
+        return (
+            f"<GatewayView {self.gateway_id} {self.state.value} "
+            f"backhaul={self.backhaul_bps / 1e6:.1f}Mbps>"
+        )

@@ -43,6 +43,13 @@ def _add_simulate_parser(subparsers) -> None:
     parser.add_argument("--step", type=float, default=2.0)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan scheme runs out over this many processes "
+        "(results are identical to a serial run; default: serial)",
+    )
+    parser.add_argument(
         "--schemes",
         type=str,
         default=None,
@@ -129,7 +136,7 @@ def _cmd_simulate(args) -> int:
             return 2
     else:
         schemes = standard_schemes()
-    comparison = figures.run_evaluation(scale=scale, schemes=schemes)
+    comparison = figures.run_evaluation(scale=scale, schemes=schemes, workers=args.workers)
     summary = summarize_savings({name: comparison.first(name) for name in comparison.scheme_names})
     print(report.render_summary(summary))
     headline = figures.summary_savings(comparison)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -130,6 +130,63 @@ class GatewayObservation:
             raise ValueError("load must lie in [0, 1]")
 
 
+class _ObservationProxy:
+    """Flyweight standing in for one gateway's :class:`GatewayObservation`.
+
+    Reads ``online``/``load`` straight out of the owning view's arrays, so a
+    decision round allocates nothing per gateway.
+    """
+
+    __slots__ = ("_view", "gateway_id")
+
+    def __init__(self, view: "GatewayObservationArray", gateway_id: int):
+        self._view = view
+        self.gateway_id = gateway_id
+
+    @property
+    def online(self) -> bool:
+        return self._view.online[self.gateway_id]
+
+    @property
+    def load(self) -> float:
+        return self._view.load[self.gateway_id]
+
+    def __repr__(self) -> str:
+        return f"<ObservationProxy gw={self.gateway_id} online={self.online} load={self.load:.3f}>"
+
+
+class GatewayObservationArray:
+    """Reusable array-backed view of every gateway's observation.
+
+    Quacks like the ``Dict[int, GatewayObservation]`` that
+    :meth:`BH2Terminal.decide` consumes (``get``/``[]``/``in``) but is
+    refreshed in place each decision round: the simulator rewrites the
+    ``online`` and ``load`` arrays instead of allocating one validated
+    dataclass per gateway per round.
+    """
+
+    __slots__ = ("online", "load", "_proxies")
+
+    def __init__(self, num_gateways: int):
+        self.online: List[bool] = [False] * num_gateways
+        self.load: List[float] = [0.0] * num_gateways
+        self._proxies = [_ObservationProxy(self, g) for g in range(num_gateways)]
+
+    def get(self, gateway_id: int, default=None):
+        if 0 <= gateway_id < len(self._proxies):
+            return self._proxies[gateway_id]
+        return default
+
+    def __getitem__(self, gateway_id: int) -> _ObservationProxy:
+        return self._proxies[gateway_id]
+
+    def __contains__(self, gateway_id: int) -> bool:
+        return 0 <= gateway_id < len(self._proxies)
+
+    def __len__(self) -> int:
+        return len(self._proxies)
+
+
 @dataclass(frozen=True)
 class BH2Decision:
     """The decision taken by a terminal at one decision instant."""
@@ -156,6 +213,8 @@ class BH2Terminal:
         self.client_id = client_id
         self.home_gateway = home_gateway
         self.reachable_gateways = frozenset(reachable_gateways)
+        #: Tuple snapshot (same iteration order) for the hot decision path.
+        self._reachable_seq = tuple(self.reachable_gateways)
         self.config = config or BH2Config()
         self._rng = rng if rng is not None else np.random.default_rng(client_id)
         #: The gateway the terminal currently directs new traffic to.
@@ -297,6 +356,120 @@ class BH2Terminal:
             selected_gateway=self.home_gateway,
             wake_home=not self._home_online(observations),
         )
+
+    # ------------------------------------------------------------------
+    # Array fast path (used by the simulator's decision rounds)
+    # ------------------------------------------------------------------
+    def decide_fast(
+        self,
+        now: float,
+        online_flags: Sequence[bool],
+        loads: Sequence[float],
+        candidates_possible: bool = True,
+    ) -> "Tuple[int, bool]":
+        """Run one BH2 decision against per-gateway observation arrays.
+
+        Behaviourally identical to :meth:`decide` (same decisions, same RNG
+        consumption, same statistics) but reads ``online_flags[g]`` /
+        ``loads[g]`` directly instead of observation objects, and returns
+        just ``(selected_gateway, wake_home)``.  ``candidates_possible``
+        may be passed as ``False`` when the caller knows no gateway at all
+        is hitch-hiking-eligible this round (no online gateway with load in
+        ``(candidate_min_load, high)``) — the candidate search is then
+        skipped outright, with identical outcomes.  The simulator uses this
+        on its hot path; :meth:`decide` remains for dict-based callers.
+        """
+        self.schedule_next_decision(now)
+        cfg = self.config
+        home = self.home_gateway
+        current = self.current_gateway
+        current_online = online_flags[current]
+        current_load = loads[current] if current_online else 0.0
+
+        if current == home:
+            if current_online and current_load >= cfg.low_threshold:
+                return current, False
+            if candidates_possible:
+                ids, cand_loads = self._candidates_fast(online_flags, loads, home, -1)
+                if len(ids) > cfg.backup:
+                    selected = self._pick_fast(ids, cand_loads)
+                    self.moves_to_remote += 1
+                    self.current_gateway = selected
+                    return selected, False
+            return home, False
+
+        if not current_online or current_load >= cfg.high_threshold:
+            return self._return_home_fast(online_flags)
+        if current_load >= cfg.low_threshold:
+            return current, False
+        if candidates_possible:
+            ids, cand_loads = self._candidates_fast(online_flags, loads, current, home)
+            if len(ids) > cfg.backup:
+                selected = self._pick_fast(ids, cand_loads)
+                self.moves_to_remote += 1
+                self.current_gateway = selected
+                return selected, False
+        return self._return_home_fast(online_flags)
+
+    def _return_home_fast(self, online_flags: Sequence[bool]) -> "Tuple[int, bool]":
+        wake_home = not online_flags[self.home_gateway]
+        self.returns_home += 1
+        if wake_home:
+            self.home_wakeups_requested += 1
+        self.current_gateway = self.home_gateway
+        return self.home_gateway, wake_home
+
+    def _candidates_fast(
+        self,
+        online_flags: Sequence[bool],
+        loads: Sequence[float],
+        exclude_a: int,
+        exclude_b: int,
+    ) -> "Tuple[List[int], List[float]]":
+        """Array twin of :meth:`_candidate_gateways` (same order, same tiers)."""
+        cfg = self.config
+        low = cfg.low_threshold
+        high = cfg.high_threshold
+        min_load = cfg.candidate_min_load
+        preferred_ids: List[int] = []
+        preferred_loads: List[float] = []
+        fallback_ids: List[int] = []
+        fallback_loads: List[float] = []
+        for gateway_id in self._reachable_seq:
+            if gateway_id == exclude_a or gateway_id == exclude_b:
+                continue
+            if not online_flags[gateway_id]:
+                continue
+            load = loads[gateway_id]
+            if load >= high:
+                continue
+            if load > low:
+                preferred_ids.append(gateway_id)
+                preferred_loads.append(load)
+            elif load > min_load:
+                fallback_ids.append(gateway_id)
+                fallback_loads.append(load)
+        if len(preferred_ids) > cfg.backup:
+            return preferred_ids, preferred_loads
+        return preferred_ids + fallback_ids, preferred_loads + fallback_loads
+
+    def _pick_fast(self, ids: List[int], loads: List[float]) -> int:
+        """Array twin of :meth:`_pick_proportional_to_load` (same RNG draws).
+
+        Inlines ``Generator.choice(n, p=...)``'s sampling (normalised-cdf
+        ``searchsorted`` against one uniform draw), which consumes exactly
+        one ``random()`` from the stream — bit-identical to the real call
+        but without its validation overhead; pinned by a regression test.
+        """
+        load_array = np.array(loads, dtype=float)
+        total = load_array.sum()
+        if total <= 0:
+            index = int(self._rng.integers(len(ids)))
+        else:
+            cdf = (load_array / total).cumsum()
+            cdf /= cdf[-1]
+            index = int(cdf.searchsorted(self._rng.random(), "right"))
+        return ids[index]
 
     def _home_online(self, observations: Dict[int, GatewayObservation]) -> bool:
         obs = observations.get(self.home_gateway)

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from math import inf
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 
@@ -63,11 +64,13 @@ class AggregationProblem:
     def feasible_gateways(self, user: int) -> List[int]:
         """Gateways that can individually carry the user's demand (w_ij >= d_i)."""
         demand = self.demands_bps.get(user, 0.0)
-        return [
-            g
-            for g in self.capacities_bps
-            if (user, g) in self.wireless_bps and self.wireless_bps[(user, g)] >= demand
-        ]
+        wireless = self.wireless_bps
+        out = []
+        for g in self.capacities_bps:
+            w = wireless.get((user, g))
+            if w is not None and w >= demand:
+                out.append(g)
+        return out
 
     def active_users(self) -> List[int]:
         """Users whose demand is strictly positive (the only ones that matter)."""
@@ -127,24 +130,104 @@ def verify_solution(problem: AggregationProblem, solution: AggregationSolution) 
 class GreedyAggregationSolver:
     """Capacity-aware greedy set-multicover with a pruning pass."""
 
+    def __init__(self) -> None:
+        # Reachability memo: a repeatedly-used wireless map (the simulator
+        # passes the same dict every solve epoch) yields, per user, the
+        # reachable gateways and the smallest wireless capacity among them —
+        # any demand at or below that minimum is feasible everywhere the
+        # user can reach, skipping the per-epoch feasibility scan.
+        self._reach_map: Optional[Dict[Tuple[int, int], float]] = None
+        self._reach_capacities: Optional[Dict[int, float]] = None
+        self._reach: Dict[int, Tuple[List[int], float]] = {}
+        self._static_users_of_gateway: Dict[int, Set[int]] = {}
+
+    def _feasible(self, problem: AggregationProblem, user: int) -> List[int]:
+        # Reachability depends on both maps; invalidate when either object
+        # changes (in-place mutation of a shared map between solves is not
+        # supported — pass a fresh dict in that case).
+        if (
+            problem.wireless_bps is not self._reach_map
+            or problem.capacities_bps is not self._reach_capacities
+        ):
+            self._reach_map = problem.wireless_bps
+            self._reach_capacities = problem.capacities_bps
+            self._reach = {}
+            self._static_users_of_gateway = {}
+        cached = self._reach.get(user)
+        if cached is None:
+            wireless = problem.wireless_bps
+            reachable = []
+            min_w = inf
+            for g in problem.capacities_bps:
+                w = wireless.get((user, g))
+                if w is not None:
+                    reachable.append(g)
+                    if w < min_w:
+                        min_w = w
+            cached = (reachable, min_w)
+            self._reach[user] = cached
+        reachable, min_w = cached
+        demand = problem.demands_bps.get(user, 0.0)
+        if demand <= min_w:
+            return reachable
+        return problem.feasible_gateways(user)
+
     def solve(self, problem: AggregationProblem) -> AggregationSolution:
         """Compute a feasible solution minimising (approximately) the objective."""
-        users = problem.active_users()
-        need: Dict[int, int] = {u: problem.required_coverage(u) for u in users}
-        users = [u for u in users if need[u] > 0]
-        feasible: Dict[int, List[int]] = {u: problem.feasible_gateways(u) for u in users}
+        # One pass computes each active user's feasible gateways; the nominal
+        # 1 + backup requirement is capped by what is actually reachable.
+        coverage_cap = 1 + problem.backup
+        need: Dict[int, int] = {}
+        users: List[int] = []
+        # When every active user's feasible set is its full reachable set
+        # (demands at or below the smallest wireless capacity — the usual
+        # case, since the simulator caps demands at the backhaul rate), the
+        # per-gateway user sets are static and shared across solves: the
+        # greedy only ever tests membership for *active* users, so extra
+        # inactive members are harmless.
+        static_ok = True
+        for user in problem.active_users():
+            gateways = self._feasible(problem, user)
+            if not gateways:
+                continue
+            users.append(user)
+            need[user] = max(1, min(coverage_cap, len(gateways)))
+            if len(gateways) != len(self._reach.get(user, ((), 0.0))[0]):
+                static_ok = False
+        if static_ok:
+            users_of_gateway = self._static_users_of_gateway
+            if not users_of_gateway:
+                users_of_gateway.update({g: set() for g in problem.capacities_bps})
+                for (client, gateway) in problem.wireless_bps:
+                    members = users_of_gateway.get(gateway)
+                    if members is not None:
+                        members.add(client)
+        else:
+            users_of_gateway = {g: set() for g in problem.capacities_bps}
+            for user in users:
+                for gateway in self._feasible(problem, user):
+                    users_of_gateway[gateway].add(user)
 
         online: Set[int] = set()
         assignment: Dict[int, List[int]] = {u: [] for u in users}
         load: Dict[int, float] = {g: 0.0 for g in problem.capacities_bps}
 
+        demands = problem.demands_bps
         remaining = {u for u in users if need[u] > len(assignment[u])}
         while remaining:
             best_gateway, best_covered = None, []
+            # One demand-sort of the remaining users serves every candidate
+            # gateway this round (same stable order as sorting per gateway).
+            remaining_sorted = sorted(remaining, key=demands.__getitem__)
             for gateway in problem.capacities_bps:
                 if gateway in online:
                     continue
-                covered = self._coverable(problem, gateway, remaining, assignment, need, feasible, load)
+                gateway_users = users_of_gateway[gateway]
+                if not gateway_users:
+                    continue
+                covered = self._coverable(
+                    problem, gateway, remaining_sorted, assignment, gateway_users, load
+                )
                 if len(covered) > len(best_covered):
                     best_gateway, best_covered = gateway, covered
             if best_gateway is None or not best_covered:
@@ -168,27 +251,25 @@ class GreedyAggregationSolver:
     def _coverable(
         problem: AggregationProblem,
         gateway: int,
-        remaining: Set[int],
+        remaining_sorted: List[int],
         assignment: Dict[int, List[int]],
-        need: Dict[int, int],
-        feasible: Dict[int, List[int]],
+        gateway_users: Set[int],
         load: Dict[int, float],
     ) -> List[int]:
-        """Users whose coverage this gateway could extend, respecting its budget."""
+        """Users whose coverage this gateway could extend, respecting its budget.
+
+        ``remaining_sorted`` holds the still-uncovered users with smallest
+        demands first (maximising the number of users covered).
+        """
         budget = problem.gateway_budget(gateway) - load[gateway]
-        eligible = [
-            u
-            for u in remaining
-            if gateway in feasible[u] and gateway not in assignment[u]
-        ]
-        # Smallest demands first maximises the number of users covered.
-        eligible.sort(key=lambda u: problem.demands_bps[u])
+        demands = problem.demands_bps
         covered: List[int] = []
-        for user in eligible:
-            demand = problem.demands_bps[user]
-            if demand <= budget + 1e-12:
-                covered.append(user)
-                budget -= demand
+        for user in remaining_sorted:
+            if user in gateway_users and gateway not in assignment[user]:
+                demand = demands[user]
+                if demand <= budget + 1e-12:
+                    covered.append(user)
+                    budget -= demand
         return covered
 
     @staticmethod

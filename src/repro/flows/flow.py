@@ -1,14 +1,19 @@
-"""In-flight flow state and completion records."""
+"""In-flight flow state and completion records.
+
+Both classes are lean value types rather than dataclasses: the simulator
+creates one :class:`ActiveFlow` per trace flow (hundreds of thousands per
+run) and one :class:`FlowRecord` per completion, so construction cost is a
+measurable slice of a run.  ``ActiveFlow`` is a mutable ``__slots__`` class;
+``FlowRecord`` is a ``NamedTuple`` (tuple construction is C-speed).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.traces.models import Flow
 
 
-@dataclass
 class ActiveFlow:
     """A flow currently being transferred (or waiting for its gateway).
 
@@ -17,17 +22,39 @@ class ActiveFlow:
     *new* flows through the newly selected gateway.
     """
 
-    flow: Flow
-    gateway_id: int
-    wireless_capacity_bps: float
-    remaining_bytes: float = field(init=False)
-    first_service_time: Optional[float] = None
-    completion_time: Optional[float] = None
+    __slots__ = (
+        "flow",
+        "gateway_id",
+        "wireless_capacity_bps",
+        "remaining_bytes",
+        "first_service_time",
+        "completion_time",
+        "rate_bps",
+        "admission_index",
+    )
 
-    def __post_init__(self) -> None:
-        if self.wireless_capacity_bps <= 0:
+    def __init__(
+        self,
+        flow: Flow,
+        gateway_id: int,
+        wireless_capacity_bps: float,
+        first_service_time: Optional[float] = None,
+        completion_time: Optional[float] = None,
+    ):
+        if wireless_capacity_bps <= 0:
             raise ValueError("wireless_capacity_bps must be positive")
-        self.remaining_bytes = float(self.flow.size_bytes)
+        self.flow = flow
+        self.gateway_id = gateway_id
+        self.wireless_capacity_bps = wireless_capacity_bps
+        self.remaining_bytes = float(flow.size_bytes)
+        self.first_service_time = first_service_time
+        self.completion_time = completion_time
+        #: Current max-min share (maintained by the scheduler; 0 while the
+        #: flow's gateway is offline).
+        self.rate_bps = 0.0
+        #: Global admission sequence number (stamped by the scheduler) so
+        #: order-sensitive aggregations can replay the seed's flow order.
+        self.admission_index = 0
 
     @property
     def client_id(self) -> int:
@@ -70,9 +97,14 @@ class ActiveFlow:
             baseline_duration_s=baseline_duration_s,
         )
 
+    def __repr__(self) -> str:
+        return (
+            f"ActiveFlow(flow={self.flow!r}, gateway_id={self.gateway_id}, "
+            f"remaining_bytes={self.remaining_bytes})"
+        )
 
-@dataclass(frozen=True)
-class FlowRecord:
+
+class FlowRecord(NamedTuple):
     """Result of one completed flow."""
 
     flow_id: int

@@ -4,22 +4,102 @@ Each gateway's ADSL backhaul is shared among the flows routed through it
 using max-min fairness, with every flow additionally capped by the wireless
 hop between its client and the gateway.  The scheduler advances flow state
 in discrete steps driven by the network simulator.
+
+The implementation is incremental rather than per-step: flows are kept
+grouped by gateway (the seed rebuilt that grouping from scratch every
+step), each flow's max-min share is cached on the flow and only recomputed
+for gateways whose flow set or online status changed, and the earliest
+possible completion instant per gateway is tracked so the ordinary serving
+step is a tight multiply-subtract loop with no completion bookkeeping.
+The per-flow arithmetic (including the iterative water-filling used for
+in-simulator rate computation) reproduces the seed bit for bit.
+
+:func:`max_min_allocation` is the public allocator, vectorized with a
+sort-based closed form; the seed's O(n²) iterative allocator is kept as
+:func:`_max_min_allocation_reference` for the regression tests and for the
+(bit-exact, small-n) in-simulator rate computation.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from math import inf
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.flows.flow import ActiveFlow, FlowRecord
 
+#: A flow with fewer remaining bytes is considered complete (seed semantics).
+_DONE_BYTES = 1e-9
 
-def max_min_allocation(capacity_bps: float, caps_bps: Sequence[float]) -> List[float]:
-    """Max-min fair allocation of ``capacity_bps`` under per-flow caps.
+#: Safety margin (seconds) between the analytically predicted earliest
+#: completion and the instant the exact step-wise arithmetic can reach it.
+_COMPLETION_MARGIN_S = 1e-6
 
-    Classic water-filling: repeatedly give every unsatisfied flow an equal
-    share of the remaining capacity; flows whose cap is below the share get
-    exactly their cap and drop out.
+
+def _water_fill(capacity_bps: float, caps_bps: Sequence[float]) -> List[float]:
+    """The seed's iterative water-filling loop, without argument validation.
+
+    Used on the scheduler's hot path where the inputs are known valid; the
+    arithmetic (and therefore every produced rate) is bit-identical to
+    :func:`_max_min_allocation_reference`.
+    """
+    n = len(caps_bps)
+    if capacity_bps <= 1e-12:
+        return [0.0] * n
+    if n == 2:
+        # The two-flow case is by far the most common beyond singletons;
+        # this branch replays the reference loop's exact float operations.
+        a, b = caps_bps
+        if a > 0 and b > 0:
+            share = capacity_bps / 2
+            a_fits = a <= share
+            b_fits = b <= share
+            if a_fits and b_fits:
+                return [a, b]
+            if a_fits:
+                remaining = capacity_bps - a
+                if remaining > 1e-12:
+                    return [a, b if b <= remaining else remaining]
+                return [a, 0.0]
+            if b_fits:
+                remaining = capacity_bps - b
+                if remaining > 1e-12:
+                    return [a if a <= remaining else remaining, b]
+                return [0.0, b]
+            return [share, share]
+        if a > 0:
+            return [a if a <= capacity_bps else capacity_bps, 0.0]
+        if b > 0:
+            return [0.0, b if b <= capacity_bps else capacity_bps]
+        return [0.0, 0.0]
+    allocation = [0.0] * n
+    remaining = capacity_bps
+    unsatisfied = [i for i in range(n) if caps_bps[i] > 0]
+    while unsatisfied and remaining > 1e-12:
+        share = remaining / len(unsatisfied)
+        bottlenecked = [i for i in unsatisfied if caps_bps[i] - allocation[i] <= share]
+        if bottlenecked:
+            for i in bottlenecked:
+                remaining -= caps_bps[i] - allocation[i]
+                allocation[i] = caps_bps[i]
+            unsatisfied = [i for i in unsatisfied if i not in set(bottlenecked)]
+        else:
+            for i in unsatisfied:
+                allocation[i] += share
+            remaining = 0.0
+    return allocation
+
+
+def _max_min_allocation_reference(capacity_bps: float, caps_bps: Sequence[float]) -> List[float]:
+    """Reference max-min allocation: the seed's iterative water-filling.
+
+    Repeatedly gives every unsatisfied flow an equal share of the remaining
+    capacity; flows whose cap is below the share get exactly their cap and
+    drop out.  Kept verbatim (modulo the extracted loop in
+    :func:`_water_fill`): the vectorized allocator is property-tested
+    against it, and the scheduler uses the same arithmetic so flow service
+    stays bit-identical to the seed kernel.
     """
     if capacity_bps < 0:
         raise ValueError("capacity must be non-negative")
@@ -46,6 +126,40 @@ def max_min_allocation(capacity_bps: float, caps_bps: Sequence[float]) -> List[f
     return allocation
 
 
+def max_min_allocation(capacity_bps: float, caps_bps: Sequence[float]) -> List[float]:
+    """Max-min fair allocation of ``capacity_bps`` under per-flow caps.
+
+    Vectorized sort-based water-filling: walking the caps in ascending
+    order, a flow is satisfied (gets its cap) exactly when its cap does not
+    exceed the equal share of the capacity left after satisfying everyone
+    before it; from the first unsatisfied flow on, everyone receives that
+    equal share.  O(n log n) instead of the reference's O(n²); equivalent
+    up to floating-point rounding (see the property test).
+    """
+    if capacity_bps < 0:
+        raise ValueError("capacity must be non-negative")
+    n = len(caps_bps)
+    if n == 0:
+        return []
+    caps = np.asarray(caps_bps, dtype=float)
+    if (caps < 0).any():
+        raise ValueError("caps must be non-negative")
+    if n == 1:
+        return [min(float(caps[0]), capacity_bps)]
+    order = np.argsort(caps, kind="stable")
+    sorted_caps = caps[order]
+    already_given = np.concatenate(([0.0], np.cumsum(sorted_caps)[:-1]))
+    shares = (capacity_bps - already_given) / (n - np.arange(n))
+    unsatisfied = sorted_caps > shares
+    allocation_sorted = sorted_caps.copy()
+    if unsatisfied.any():
+        first = int(np.argmax(unsatisfied))
+        allocation_sorted[first:] = shares[first]
+    out = np.empty(n)
+    out[order] = allocation_sorted
+    return [float(a) for a in out]
+
+
 class FlowScheduler:
     """Tracks in-flight flows and shares gateway backhauls among them."""
 
@@ -53,33 +167,91 @@ class FlowScheduler:
         if backhaul_bps <= 0:
             raise ValueError("backhaul_bps must be positive")
         self.backhaul_bps = backhaul_bps
-        self._active: List[ActiveFlow] = []
+        #: gateway id -> flows routed through it, in admission order.
+        self._groups: Dict[int, List[ActiveFlow]] = {}
         self._completed: List[ActiveFlow] = []
+        self._n_active = 0
+        #: Gateways whose cached rates are stale.
+        self._dirty: Set[int] = set()
+        #: Identity of the online set the cached rates were computed for.
+        self._online_ref: Optional[Set[int]] = None
+        self._online_members: Set[int] = set()
+        #: Earliest (analytic) completion instant per serving gateway.
+        self._gw_completion: Dict[int, float] = {}
+        self._next_completion = inf
+        #: Global admission counter (stamps ActiveFlow.admission_index).
+        self._admit_counter = 0
 
     # ------------------------------------------------------------------
     @property
     def active_flows(self) -> List[ActiveFlow]:
         """Flows that still have bytes to transfer."""
-        return list(self._active)
+        return [flow for group in self._groups.values() for flow in group]
 
     @property
     def completed_flows(self) -> List[ActiveFlow]:
         """Flows that finished, in completion order."""
         return list(self._completed)
 
+    @property
+    def has_active(self) -> bool:
+        """Whether any flow is in flight (cheaper than ``active_flows``)."""
+        return self._n_active > 0
+
     def admit(self, flow: ActiveFlow) -> None:
         """Add a new flow to the system."""
-        if flow.done:
+        if flow.remaining_bytes <= _DONE_BYTES:
             raise ValueError("cannot admit an already-completed flow")
-        self._active.append(flow)
+        gateway_id = flow.gateway_id
+        group = self._groups.get(gateway_id)
+        if group is None:
+            self._groups[gateway_id] = [flow]
+        else:
+            group.append(flow)
+        flow.admission_index = self._admit_counter
+        self._admit_counter += 1
+        self._dirty.add(gateway_id)
+        self._n_active += 1
+
+    def migrate(self, flow: ActiveFlow, gateway_id: int, wireless_capacity_bps: float) -> None:
+        """Move an in-flight flow to another gateway (Optimal scheme only)."""
+        if wireless_capacity_bps <= 0:
+            raise ValueError("wireless_capacity_bps must be positive")
+        old = flow.gateway_id
+        group = self._groups.get(old)
+        if group is None or flow not in group:
+            raise ValueError("flow is not active in this scheduler")
+        group.remove(flow)
+        if not group:
+            del self._groups[old]
+        self._dirty.add(old)
+        flow.gateway_id = gateway_id
+        flow.wireless_capacity_bps = wireless_capacity_bps
+        flow.rate_bps = 0.0
+        new_group = self._groups.get(gateway_id)
+        if new_group is None:
+            self._groups[gateway_id] = [flow]
+        else:
+            new_group.append(flow)
+        self._dirty.add(gateway_id)
 
     def flows_at_gateway(self, gateway_id: int) -> List[ActiveFlow]:
         """Active flows currently routed through ``gateway_id``."""
-        return [f for f in self._active if f.gateway_id == gateway_id]
+        return list(self._groups.get(gateway_id, ()))
 
     def gateways_with_traffic(self) -> Set[int]:
         """Gateways that have at least one active (possibly waiting) flow."""
-        return {f.gateway_id for f in self._active}
+        return set(self._groups)
+
+    def gateway_group_map(self) -> Dict[int, List[ActiveFlow]]:
+        """Live gateway → flows mapping (read-only for callers)."""
+        return self._groups
+
+    def clients_with_traffic(self) -> Set[int]:
+        """Clients that have at least one active flow."""
+        return {
+            flow.flow.client_id for group in self._groups.values() for flow in group
+        }
 
     def demand_bps(self, gateway_id: int, horizon_s: float = 60.0) -> float:
         """Aggregate demand of the flows at ``gateway_id`` over a horizon.
@@ -88,18 +260,207 @@ class FlowScheduler:
         """
         if horizon_s <= 0:
             raise ValueError("horizon_s must be positive")
-        flows = self.flows_at_gateway(gateway_id)
-        return sum(f.remaining_bytes * 8.0 for f in flows) / horizon_s
+        return sum(
+            flow.remaining_bytes * 8.0 for flow in self._groups.get(gateway_id, ())
+        ) / horizon_s
 
     def client_demand_bps(self, horizon_s: float = 60.0) -> Dict[int, float]:
         """Per-client aggregate demand over a horizon (d_i of Eq. 1)."""
         if horizon_s <= 0:
             raise ValueError("horizon_s must be positive")
-        demand: Dict[int, float] = defaultdict(float)
-        for flow in self._active:
-            demand[flow.client_id] += flow.remaining_bytes * 8.0 / horizon_s
-        return dict(demand)
+        # Accumulate in global admission order (the seed iterated its flat
+        # flow list), so repeated-addition rounding matches it bit for bit.
+        flows = [flow for group in self._groups.values() for flow in group]
+        flows.sort(key=lambda flow: flow.admission_index)
+        demand: Dict[int, float] = {}
+        get = demand.get
+        for flow in flows:
+            client = flow.flow.client_id
+            demand[client] = get(client, 0.0) + flow.remaining_bytes * 8.0 / horizon_s
+        return demand
 
+    # ------------------------------------------------------------------
+    # Rate maintenance
+    # ------------------------------------------------------------------
+    def ensure_rates(
+        self,
+        now: float,
+        online_gateways: Set[int],
+        backhaul_bps: Optional[Dict[int, float]] = None,
+    ) -> None:
+        """Recompute the cached per-flow rates where anything changed.
+
+        Passing the *same set object* for ``online_gateways`` as the last
+        call signals an unchanged online set; a different object is diffed
+        against the previous membership and only affected gateways are
+        recomputed.  A per-call ``backhaul_bps`` override forces a one-off
+        full recomputation that is not cached.
+        """
+        if backhaul_bps is not None:
+            self._online_members = set(online_gateways)
+            for gateway_id in self._groups:
+                self._recompute_gateway(gateway_id, now, backhaul_bps)
+            self._dirty = set(self._groups)
+            self._online_ref = None
+            self._refresh_next_completion()
+            return
+        if online_gateways is not self._online_ref:
+            if self._online_ref is None:
+                self._dirty.update(self._groups)
+            else:
+                for gateway_id in online_gateways ^ self._online_members:
+                    if gateway_id in self._groups:
+                        self._dirty.add(gateway_id)
+            self._online_ref = online_gateways
+            self._online_members = set(online_gateways)
+        if not self._dirty:
+            return
+        groups = self._groups
+        gw_completion = self._gw_completion
+        online = self._online_members
+        capacity = self.backhaul_bps
+        for gateway_id in self._dirty:
+            group = groups.get(gateway_id)
+            if group is not None and len(group) == 1 and gateway_id in online:
+                # Inlined single-flow case (the vast majority of recomputes):
+                # water-filling degenerates to min(cap, capacity) with no
+                # arithmetic, exactly as the reference computes it.
+                flow = group[0]
+                rate = flow.wireless_capacity_bps
+                if rate > capacity:
+                    rate = capacity
+                flow.rate_bps = rate
+                if rate > 0:
+                    if flow.first_service_time is None:
+                        flow.first_service_time = now
+                    gw_completion[gateway_id] = now + flow.remaining_bytes * 8.0 / rate
+                else:
+                    gw_completion.pop(gateway_id, None)
+            else:
+                self._recompute_gateway(gateway_id, now, None)
+        self._dirty.clear()
+        self._refresh_next_completion()
+
+    def _recompute_gateway(
+        self, gateway_id: int, now: float, backhaul_bps: Optional[Dict[int, float]]
+    ) -> None:
+        group = self._groups.get(gateway_id)
+        if not group:
+            self._gw_completion.pop(gateway_id, None)
+            return
+        if gateway_id not in self._online_members:
+            for flow in group:
+                flow.rate_bps = 0.0
+            self._gw_completion.pop(gateway_id, None)
+            return
+        capacity = self.backhaul_bps
+        if backhaul_bps is not None:
+            capacity = backhaul_bps.get(gateway_id, self.backhaul_bps)
+        earliest = inf
+        if len(group) == 1:
+            flow = group[0]
+            # Single flow: water-filling degenerates to min(cap, capacity)
+            # with no arithmetic, exactly as the reference computes it.
+            rate = flow.wireless_capacity_bps
+            if rate > capacity:
+                rate = capacity
+            flow.rate_bps = rate
+            if rate > 0:
+                if flow.first_service_time is None:
+                    flow.first_service_time = now
+                earliest = now + flow.remaining_bytes * 8.0 / rate
+        else:
+            caps = [flow.wireless_capacity_bps for flow in group]
+            count = len(caps)
+            share = capacity / count
+            if capacity > 1e-12 and min(caps) > share:
+                # No flow is bottlenecked by its wireless hop: the reference
+                # loop hands out one equal share in a single round (the
+                # common case on a saturated aggregation gateway).
+                min_remaining = inf
+                for flow in group:
+                    flow.rate_bps = share
+                    if flow.first_service_time is None:
+                        flow.first_service_time = now
+                    if flow.remaining_bytes < min_remaining:
+                        min_remaining = flow.remaining_bytes
+                self._gw_completion[gateway_id] = now + min_remaining * 8.0 / share
+                return
+            first_cap = caps[0]
+            if first_cap > 0 and all(cap == first_cap for cap in caps):
+                # Equal caps degenerate to everyone's cap (or one share),
+                # replaying the reference loop's exact arithmetic.
+                uniform = first_cap if first_cap <= share else share
+                if capacity <= 1e-12:
+                    uniform = 0.0
+                rates: Sequence[float] = (uniform,) * count
+            else:
+                rates = _water_fill(capacity, caps)
+            for flow, rate in zip(group, rates):
+                flow.rate_bps = rate
+                if rate > 0:
+                    if flow.first_service_time is None:
+                        flow.first_service_time = now
+                    instant = now + flow.remaining_bytes * 8.0 / rate
+                    if instant < earliest:
+                        earliest = instant
+        if earliest is not inf:
+            self._gw_completion[gateway_id] = earliest
+        else:
+            self._gw_completion.pop(gateway_id, None)
+
+    def _refresh_next_completion(self) -> None:
+        self._next_completion = (
+            min(self._gw_completion.values()) if self._gw_completion else inf
+        )
+
+    def min_completion_instant(self, now: float, online_gateways: Set[int]) -> float:
+        """Earliest instant any flow can complete at the current rates.
+
+        Analytic estimate, accurate to float rounding; callers must keep a
+        :data:`_COMPLETION_MARGIN_S` safety margin around it.
+        """
+        self.ensure_rates(now, online_gateways)
+        return self._next_completion
+
+    def stretch_completion_bound(self, now: float, online_gateways: Set[int], sleep_guard_s: float) -> float:
+        """Earliest instant a flow completion becomes a *stepper* event.
+
+        A completion at a gateway with co-flows redistributes their shares,
+        so it bounds a step stretch directly.  The completion of a
+        gateway's *only* flow is transparent — :meth:`serve` drains the
+        gateway mid-stretch with exact arithmetic — until ``sleep_guard_s``
+        later, when the drained gateway's idle timeout could fire (pass
+        ``inf`` for schemes whose gateways never sleep).
+        """
+        self.ensure_rates(now, online_gateways)
+        bound = inf
+        groups = self._groups
+        gw_completion = self._gw_completion
+        any_multi = False
+        last_drain = 0.0
+        for gateway_id, instant in gw_completion.items():
+            if len(groups[gateway_id]) > 1:
+                any_multi = True
+                if instant < bound:
+                    bound = instant
+            else:
+                if instant > last_drain:
+                    last_drain = instant
+                guarded = instant + sleep_guard_s
+                if guarded < bound:
+                    bound = guarded
+        # If every flow is a served singleton the whole scheduler can drain
+        # mid-stretch, after which the seed kernel switches to its idle-skip
+        # path (off the step grid) — so the stretch must end at the final
+        # completion to keep the two timelines aligned.
+        if not any_multi and gw_completion and len(gw_completion) == len(groups):
+            if last_drain < bound:
+                bound = last_drain
+        return bound
+
+    # ------------------------------------------------------------------
+    # Stepping
     # ------------------------------------------------------------------
     def step(
         self,
@@ -116,36 +477,165 @@ class FlowScheduler:
         """
         if dt < 0:
             raise ValueError("dt must be non-negative")
-        served_per_gateway: Dict[int, float] = defaultdict(float)
+        if dt == 0 or self._n_active == 0:
+            return {}, []
+        # Defensive copy: ensure_rates detects online-set changes by object
+        # identity (callers like the simulator pass a stable cached set);
+        # step() callers may mutate one set in place between calls.
+        self.ensure_rates(now, set(online_gateways), backhaul_bps)
+        step_totals, completed = self.serve(now, dt, (now + dt,))
+        return step_totals[0], completed
+
+    def serve_single(
+        self, now: float, end: float, dt: float
+    ) -> Tuple[Dict[int, float], List[ActiveFlow]]:
+        """One-step specialisation of :meth:`serve` (the common case)."""
+        groups = self._groups
+        gw_completion = self._gw_completion
+        totals: Dict[int, float] = {}
         completed: List[ActiveFlow] = []
-        if dt == 0:
-            return dict(served_per_gateway), completed
-
-        by_gateway: Dict[int, List[ActiveFlow]] = defaultdict(list)
-        for flow in self._active:
-            by_gateway[flow.gateway_id].append(flow)
-
-        for gateway_id, flows in by_gateway.items():
-            if gateway_id not in online_gateways:
-                continue
-            capacity = (
-                backhaul_bps.get(gateway_id, self.backhaul_bps)
-                if backhaul_bps is not None
-                else self.backhaul_bps
-            )
-            caps = [f.wireless_capacity_bps for f in flows]
-            rates = max_min_allocation(capacity, caps)
-            for flow, rate in zip(flows, rates):
-                bits = flow.serve(rate, dt, now)
-                served_per_gateway[gateway_id] += bits
-                if flow.done:
+        drained: List[int] = []
+        for gateway_id, earliest in gw_completion.items():
+            group = groups[gateway_id]
+            if end < earliest - _COMPLETION_MARGIN_S:
+                if len(group) == 1:
+                    flow = group[0]
+                    bits = flow.rate_bps * dt
+                    flow.remaining_bytes -= bits / 8.0
+                    totals[gateway_id] = bits
+                else:
+                    total = 0.0
+                    for flow in group:
+                        bits = flow.rate_bps * dt
+                        flow.remaining_bytes -= bits / 8.0
+                        total += bits
+                    totals[gateway_id] = total
+            elif len(group) == 1:
+                # Careful path, solo flow (the most common completion shape).
+                flow = group[0]
+                remaining_bits = flow.remaining_bytes * 8.0
+                rate = flow.rate_bps
+                bits = rate * dt
+                if bits > remaining_bits:
+                    bits = remaining_bits
+                flow.remaining_bytes -= bits / 8.0
+                totals[gateway_id] = bits
+                if flow.remaining_bytes <= _DONE_BYTES:
+                    served_for = bits / rate if rate > 0 else dt
+                    flow.completion_time = now + (dt if dt < served_for else served_for)
                     completed.append(flow)
-
+                    self._n_active -= 1
+                    drained.append(gateway_id)
+                    self._dirty.add(gateway_id)
+            else:
+                total = 0.0
+                finished: Optional[List[ActiveFlow]] = None
+                for flow in group:
+                    remaining_bits = flow.remaining_bytes * 8.0
+                    rate = flow.rate_bps
+                    bits = rate * dt
+                    if bits > remaining_bits:
+                        bits = remaining_bits
+                    flow.remaining_bytes -= bits / 8.0
+                    total += bits
+                    if flow.remaining_bytes <= _DONE_BYTES:
+                        served_for = bits / rate if rate > 0 else dt
+                        flow.completion_time = now + (
+                            dt if dt < served_for else served_for
+                        )
+                        if finished is None:
+                            finished = [flow]
+                        else:
+                            finished.append(flow)
+                totals[gateway_id] = total
+                if finished:
+                    completed.extend(finished)
+                    self._n_active -= len(finished)
+                    if len(finished) == len(group):
+                        drained.append(gateway_id)
+                    else:
+                        for flow in finished:
+                            group.remove(flow)
+                    self._dirty.add(gateway_id)
+        for gateway_id in drained:
+            del groups[gateway_id]
+            del gw_completion[gateway_id]
         if completed:
-            done_ids = {id(f) for f in completed}
-            self._active = [f for f in self._active if id(f) not in done_ids]
             self._completed.extend(completed)
-        return dict(served_per_gateway), completed
+        return totals, completed
+
+    def serve(
+        self, now: float, dt: float, step_ends: Sequence[float]
+    ) -> Tuple[List[Dict[int, float]], List[ActiveFlow]]:
+        """Serve flows over one or more consecutive steps of length ``dt``.
+
+        ``step_ends`` are the end instants of the steps; rates must already
+        be ensured and are held constant across the whole run (the caller
+        guarantees — via its stretch planning — that no completion can fall
+        before the final step).  Returns the per-step bits served per
+        gateway and the flows that completed.
+
+        The per-flow arithmetic is bit-identical to the seed kernel's
+        ``ActiveFlow.serve`` call sequence.
+        """
+        per_step: List[Dict[int, float]] = []
+        completed: List[ActiveFlow] = []
+        groups = self._groups
+        gw_completion = self._gw_completion
+        start = now
+        for end in step_ends:
+            totals: Dict[int, float] = {}
+            drained: List[int] = []
+            # The serving gateways are exactly the keys of the completion
+            # map (online, at least one flow, positive rates).
+            for gateway_id, earliest in gw_completion.items():
+                group = groups[gateway_id]
+                if end < earliest - _COMPLETION_MARGIN_S:
+                    # No flow here can complete this step: plain linear progress.
+                    total = 0.0
+                    for flow in group:
+                        bits = flow.rate_bps * dt
+                        flow.remaining_bytes -= bits / 8.0
+                        total += bits
+                    totals[gateway_id] = total
+                else:
+                    total = 0.0
+                    finished: Optional[List[ActiveFlow]] = None
+                    for flow in group:
+                        remaining_bits = flow.remaining_bytes * 8.0
+                        rate = flow.rate_bps
+                        bits = rate * dt
+                        if bits > remaining_bits:
+                            bits = remaining_bits
+                        flow.remaining_bytes -= bits / 8.0
+                        total += bits
+                        if flow.remaining_bytes <= _DONE_BYTES:
+                            served_for = bits / rate if rate > 0 else dt
+                            flow.completion_time = start + (
+                                dt if dt < served_for else served_for
+                            )
+                            if finished is None:
+                                finished = [flow]
+                            else:
+                                finished.append(flow)
+                    totals[gateway_id] = total
+                    if finished:
+                        completed.extend(finished)
+                        self._n_active -= len(finished)
+                        if len(finished) == len(group):
+                            drained.append(gateway_id)
+                        else:
+                            for flow in finished:
+                                group.remove(flow)
+                        self._dirty.add(gateway_id)
+            for gateway_id in drained:
+                del groups[gateway_id]
+                gw_completion.pop(gateway_id, None)
+            per_step.append(totals)
+            start = end
+        if completed:
+            self._completed.extend(completed)
+        return per_step, completed
 
     # ------------------------------------------------------------------
     def records(self, baselines: Optional[Dict[int, float]] = None) -> List[FlowRecord]:
@@ -154,8 +644,23 @@ class FlowScheduler:
         ``baselines`` optionally maps flow id → no-sleep duration so that the
         records carry the Fig. 9a comparison metric.
         """
-        records = []
-        for flow in self._completed:
-            baseline = baselines.get(flow.flow.flow_id) if baselines else None
-            records.append(flow.to_record(baseline_duration_s=baseline))
+        get_baseline = baselines.get if baselines else None
+        make = FlowRecord._make  # tuple construction without __new__ overhead
+        records: List[FlowRecord] = []
+        append = records.append
+        for active in self._completed:
+            flow = active.flow
+            append(
+                make(
+                    (
+                        flow.flow_id,
+                        flow.client_id,
+                        active.gateway_id,
+                        flow.size_bytes,
+                        flow.start_time,
+                        active.completion_time,
+                        get_baseline(flow.flow_id) if get_baseline else None,
+                    )
+                )
+            )
         return records

@@ -9,7 +9,13 @@ into the quantities plotted in the paper's figures.
 """
 
 from repro.simulation.simulator import AccessNetworkSimulator, SimulationResult
-from repro.simulation.runner import ExperimentRunner, SchemeComparison, run_scheme
+from repro.simulation.runner import (
+    ExperimentRunner,
+    ParallelExperimentRunner,
+    SchemeComparison,
+    run_scheme,
+    scheme_run_seed,
+)
 from repro.simulation.metrics import (
     average_timeseries,
     cdf,
@@ -21,8 +27,10 @@ __all__ = [
     "AccessNetworkSimulator",
     "SimulationResult",
     "ExperimentRunner",
+    "ParallelExperimentRunner",
     "SchemeComparison",
     "run_scheme",
+    "scheme_run_seed",
     "cdf",
     "average_timeseries",
     "completion_time_variation_cdf",

@@ -5,12 +5,20 @@ results; the randomness lies in the BH2 decision offsets and random gateway
 selections.  :class:`ExperimentRunner` reproduces that protocol and also
 takes care of the bookkeeping the comparisons need (the no-sleep baseline
 flow durations for Fig. 9a, the SoI reference for Fig. 9b).
+
+:class:`ParallelExperimentRunner` fans the scheme × repetition grid out
+over a :mod:`multiprocessing` pool.  Because every run's seed is derived
+deterministically from ``(base_seed, run_index, scheme name)`` the parallel
+runner produces results identical to the serial one, just faster.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +27,16 @@ from repro.power.models import AccessNetworkPowerModel, DEFAULT_POWER_MODEL
 from repro.simulation.metrics import average_timeseries
 from repro.simulation.simulator import AccessNetworkSimulator, SimulationResult
 from repro.topology.scenario import Scenario
+
+
+def scheme_run_seed(base_seed: int, run_index: int, scheme_name: str) -> int:
+    """Deterministic per-run seed for a scheme repetition.
+
+    Uses ``zlib.crc32`` rather than ``hash`` so the seed does not depend on
+    ``PYTHONHASHSEED`` — identical runs stay identical across interpreter
+    invocations and worker processes.
+    """
+    return base_seed + 1000 * run_index + zlib.crc32(scheme_name.encode("utf-8")) % 997
 
 
 def run_scheme(
@@ -156,7 +174,7 @@ class ExperimentRunner:
                     run_scheme(
                         self.scenario,
                         scheme,
-                        seed=self.base_seed + 1000 * run_index + hash(scheme.name) % 997,
+                        seed=scheme_run_seed(self.base_seed, run_index, scheme.name),
                         step_s=self.step_s,
                         sample_interval_s=self.sample_interval_s,
                         until=self.until,
@@ -172,3 +190,112 @@ class ExperimentRunner:
         from repro.core.schemes import standard_schemes
 
         return self.run(standard_schemes())
+
+
+#: Per-worker context installed by the pool initializer, so the (large)
+#: scenario and baseline-durations map cross the process boundary once per
+#: worker rather than once per task.
+_WORKER_CONTEXT: dict = {}
+
+
+def _parallel_worker_init(
+    scenario: Scenario,
+    step_s: float,
+    sample_interval_s: float,
+    until: Optional[float],
+    power_model: AccessNetworkPowerModel,
+    baseline: Dict[int, float],
+) -> None:
+    _WORKER_CONTEXT["scenario"] = scenario
+    _WORKER_CONTEXT["step_s"] = step_s
+    _WORKER_CONTEXT["sample_interval_s"] = sample_interval_s
+    _WORKER_CONTEXT["until"] = until
+    _WORKER_CONTEXT["power_model"] = power_model
+    _WORKER_CONTEXT["baseline"] = baseline
+
+
+def _parallel_run_task(args: Tuple[SchemeConfig, int]) -> SimulationResult:
+    """Top-level worker body (must be picklable for multiprocessing)."""
+    scheme, seed = args
+    context = _WORKER_CONTEXT
+    return run_scheme(
+        context["scenario"],
+        scheme,
+        seed=seed,
+        step_s=context["step_s"],
+        sample_interval_s=context["sample_interval_s"],
+        until=context["until"],
+        power_model=context["power_model"],
+        baseline_durations=context["baseline"],
+    )
+
+
+class ParallelExperimentRunner(ExperimentRunner):
+    """Experiment runner that fans scheme × repetition runs over processes.
+
+    Seeds are derived per task with :func:`scheme_run_seed`, so the results
+    (and therefore every :class:`SchemeComparison` aggregate) are
+    bit-identical to the serial :class:`ExperimentRunner` for the same
+    ``base_seed`` — only the wall-clock differs.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        runs_per_scheme: int = 1,
+        step_s: float = 1.0,
+        sample_interval_s: float = 60.0,
+        until: Optional[float] = None,
+        power_model: AccessNetworkPowerModel = DEFAULT_POWER_MODEL,
+        base_seed: int = 0,
+        workers: Optional[int] = None,
+    ):
+        super().__init__(
+            scenario=scenario,
+            runs_per_scheme=runs_per_scheme,
+            step_s=step_s,
+            sample_interval_s=sample_interval_s,
+            until=until,
+            power_model=power_model,
+            base_seed=base_seed,
+        )
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+
+    def run(self, schemes: Sequence[SchemeConfig]) -> SchemeComparison:
+        """Run every scheme ``runs_per_scheme`` times across worker processes."""
+        schemes = list(schemes)
+        comparison = SchemeComparison(scenario=self.scenario, runs_per_scheme=self.runs_per_scheme)
+        needs_baseline = any(s.sleep_enabled for s in schemes)
+        baseline = self.baseline_durations() if needs_baseline else {}
+        tasks = [
+            (scheme, scheme_run_seed(self.base_seed, run_index, scheme.name))
+            for scheme in schemes
+            for run_index in range(self.runs_per_scheme)
+        ]
+        init_args = (
+            self.scenario,
+            self.step_s,
+            self.sample_interval_s,
+            self.until,
+            self.power_model,
+            baseline,
+        )
+        workers = self.workers or os.cpu_count() or 1
+        workers = max(1, min(workers, len(tasks)))
+        if workers == 1:
+            _parallel_worker_init(*init_args)
+            results = [_parallel_run_task(task) for task in tasks]
+        else:
+            with multiprocessing.Pool(
+                processes=workers,
+                initializer=_parallel_worker_init,
+                initargs=init_args,
+            ) as pool:
+                results = pool.map(_parallel_run_task, tasks)
+        cursor = 0
+        for scheme in schemes:
+            comparison.results[scheme.name] = results[cursor : cursor + self.runs_per_scheme]
+            cursor += self.runs_per_scheme
+        return comparison

@@ -6,28 +6,106 @@ decisions or the centralised optimal), shares each online gateway's
 backhaul among its flows, advances the gateway Sleep-on-Idle state
 machines, re-terminates lines through the HDF switches, and charges energy
 to every device category.
+
+The kernel is event-aware and O(changes) per step where the seed kernel was
+O(devices) per step:
+
+* gateway state machines live in a
+  :class:`~repro.access.gateway_array.GatewayArray` (state codes, wake
+  deadlines, sliding-window traffic counters in parallel arrays) whose
+  per-step work is a couple of scalar deadline comparisons,
+* flow service uses the incremental cached rates of
+  :class:`~repro.flows.scheduler.FlowScheduler` — rates are recomputed only
+  for gateways whose flow set or power state changed,
+* energy is charged per *constant-power segment* instead of per step,
+  DSLAM re-wiring runs only when some gateway changed state, and
+* — the stepper extension — steps *stretch* over runs of the step grid that
+  provably contain no event (flow arrival or completion, BH2 decision
+  epoch, optimal solve, metric sample, or Sleep-on-Idle transition).
+
+The result reproduces the seed kernel's per-step trajectory exactly (same
+transitions at the same grid instants, same traffic samples, same RNG
+draws, bit-identical flow service); the preserved seed kernel in
+:mod:`repro.simulation.reference_kernel` is the oracle the equivalence
+tests compare against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+import gc
+from bisect import bisect_right
+from collections.abc import Sequence as _SequenceABC
+from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
+from math import inf, isfinite
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.access.dslam import Dslam, SwitchingMode
-from repro.access.gateway import Gateway
+from repro.access.gateway_array import (
+    GatewayArray,
+    GatewayView,
+    STATE_ACTIVE,
+    STATE_SLEEPING,
+    STATE_WAKING,
+)
 from repro.access.soi import SoIConfig
-from repro.core.bh2 import BH2Terminal, GatewayObservation
+from repro.core.bh2 import BH2Terminal, GatewayObservationArray
 from repro.core.optimal import AggregationProblem, GreedyAggregationSolver
 from repro.core.schemes import AggregationKind, SchemeConfig, SwitchingKind
 from repro.flows.flow import ActiveFlow, FlowRecord
 from repro.flows.scheduler import FlowScheduler
 from repro.power.energy import EnergyAccumulator, EnergyBreakdown
-from repro.power.models import AccessNetworkPowerModel, DEFAULT_POWER_MODEL, PowerState
+from repro.power.models import AccessNetworkPowerModel, DEFAULT_POWER_MODEL
 from repro.topology.scenario import DslamConfig, Scenario
 from repro.traces.models import Flow
 from repro.wireless.channel import WirelessChannel
+
+
+class LazyFlowRecords(_SequenceABC):
+    """List-like view that materialises flow records on first access.
+
+    A scheme comparison keeps ``runs_per_scheme`` results per scheme but
+    reads per-flow records only from the first run, so building hundreds of
+    thousands of :class:`FlowRecord` tuples eagerly per run is wasted work.
+    """
+
+    __slots__ = ("_factory", "_records")
+
+    def __init__(self, factory):
+        self._factory = factory
+        self._records: Optional[List[FlowRecord]] = None
+
+    def _materialise(self) -> List[FlowRecord]:
+        records = self._records
+        if records is None:
+            records = self._factory()
+            self._records = records
+            self._factory = None
+        return records
+
+    def __iter__(self):
+        return iter(self._materialise())
+
+    def __len__(self) -> int:
+        return len(self._materialise())
+
+    def __getitem__(self, index):
+        return self._materialise()[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LazyFlowRecords):
+            other = other._materialise()
+        return self._materialise() == other
+
+    def __reduce__(self):
+        # Pickles as a plain list (materialised where the pickling happens —
+        # inside the worker process for parallel runs).
+        return (list, (self._materialise(),))
+
+    def __repr__(self) -> str:
+        return repr(self._materialise())
 
 
 @dataclass
@@ -51,6 +129,8 @@ class SimulationResult:
     gateway_online_seconds: Dict[int, float]
     baseline_power_w: float
     baseline_isp_power_w: float
+    #: Number of kernel iterations the run took (stretched steps count once).
+    steps_taken: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -167,17 +247,19 @@ class AccessNetworkSimulator:
         soi = scheme.soi
         if scheme.idealized_transitions:
             soi = SoIConfig(idle_timeout_s=0.0, wake_up_time_s=0.0)
-        self.gateways: Dict[int, Gateway] = {
-            g: Gateway(
-                gateway_id=g,
-                backhaul_bps=scenario.wireless.backhaul_bps,
-                soi=soi,
-                sleep_enabled=scheme.sleep_enabled,
-                load_window_s=scheme.bh2.load_window_s,
-                initially_sleeping=scheme.sleep_enabled,
-            )
-            for g in range(scenario.num_gateways)
-        }
+        self.gateway_array = GatewayArray(
+            num_gateways=scenario.num_gateways,
+            backhaul_bps=scenario.wireless.backhaul_bps,
+            soi=soi,
+            sleep_enabled=scheme.sleep_enabled,
+            load_window_s=scheme.bh2.load_window_s,
+            initially_sleeping=scheme.sleep_enabled,
+            # Only schemes that observe gateway load need the sliding-window
+            # traffic samples (BH2 decisions, optimal re-routing).
+            track_load=scheme.aggregation is not AggregationKind.NONE,
+        )
+        #: Gateway-compatible per-device views (API compatibility).
+        self.gateways: Dict[int, GatewayView] = self.gateway_array.views()
         self.dslam = Dslam(
             config=self._dslam_config(),
             line_ports=dict(scenario.gateway_port),
@@ -202,6 +284,19 @@ class AccessNetworkSimulator:
                     config=scheme.bh2,
                     rng=np.random.default_rng(self._rng.integers(2**31 - 1)),
                 )
+        self._terminal_list: List[BH2Terminal] = list(self.terminals.values())
+        self._decision_at = np.array(
+            [t._next_decision_at for t in self._terminal_list], dtype=float
+        )
+        #: Lazy-deletion heap over (next decision instant, terminal index);
+        #: stale entries are skipped when their time no longer matches
+        #: ``_decision_at`` (the source of truth).
+        self._decision_heap: List[Tuple[float, int]] = [
+            (t._next_decision_at, i) for i, t in enumerate(self._terminal_list)
+        ]
+        heapify(self._decision_heap)
+        self._min_decision_at = self._decision_heap[0][0] if self._decision_heap else inf
+        self._obs_view = GatewayObservationArray(scenario.num_gateways)
         self._optimal_solver = GreedyAggregationSolver()
         self._next_optimal_at = 0.0
         #: Gateways the last optimal solve decided to keep online (they stay
@@ -210,6 +305,7 @@ class AccessNetworkSimulator:
 
         # --- trace -------------------------------------------------------
         self._arrivals: List[Flow] = scenario.trace.all_flows()
+        self._arrival_times: List[float] = [f.start_time for f in self._arrivals]
         self._arrival_index = 0
         self._upcoming_demand: Dict[int, Dict[int, float]] = {}
         if scheme.aggregation is AggregationKind.OPTIMAL:
@@ -220,6 +316,30 @@ class AccessNetworkSimulator:
             interval_seconds=sample_interval_s, horizon=scenario.trace.duration
         )
         self._samples: List[Tuple[float, int, int, int, int]] = []
+        self.steps_taken = 0
+
+        # --- caches -------------------------------------------------------
+        self._home_gateway = scenario.trace.home_gateway
+        self._simple_routing = scheme.aggregation is AggregationKind.NONE
+        self._home_capacity: Dict[int, float] = {
+            client: self.channel.capacity(client, home, True)
+            for client, home in self._home_gateway.items()
+        }
+        #: Delay between a gateway draining and its idle timeout becoming an
+        #: event the stepper must stop for (inf when gateways never sleep).
+        self._sleep_guard_s = soi.idle_timeout_s if scheme.sleep_enabled else inf
+        #: Upper bound on the grid steps a stretch may cover (a metric sample
+        #: always lands within one sample interval).
+        self._max_stretch = max(1, int(sample_interval_s / step_s) + 2)
+        self._cards_on = len(self.dslam.online_cards(self.gateway_array.not_sleeping_ids()))
+        self._dslam_version = self.gateway_array.version
+        self._online_set: Set[int] = set(self.gateway_array.online_ids())
+        self._online_version = self.gateway_array.version
+        self._obs_flags_version = -1
+        self._optimal_wireless_cache: Optional[Dict[Tuple[int, int], float]] = None
+        self._optimal_capacities_cache: Optional[Dict[int, float]] = None
+        #: Pending energy segment: [start, end, active, waking, cards_on].
+        self._energy_run: Optional[list] = None
 
     # ------------------------------------------------------------------
     def _dslam_config(self) -> DslamConfig:
@@ -233,27 +353,147 @@ class AccessNetworkSimulator:
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> SimulationResult:
         """Run the simulation and return the collected metrics."""
+        # The kernel allocates hundreds of thousands of small, cycle-free
+        # objects (flows, records, samples); generational GC scans are pure
+        # overhead here (~15-40% of the run), so pause collection.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run(until)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(self, until: Optional[float]) -> SimulationResult:
         horizon = self.scenario.trace.duration if until is None else min(
             until, self.scenario.trace.duration
         )
+        gateway_array = self.gateway_array
+        scheduler = self.scheduler
+        is_bh2 = self.scheme.aggregation is AggregationKind.BH2
+        is_optimal = self.scheme.aggregation is AggregationKind.OPTIMAL
+        step_s = self.step_s
+        sample_interval_s = self.sample_interval_s
+        optimal_period_s = self.scheme.optimal_period_s
+        track_load = gateway_array.track_load
+        sample_times = gateway_array._sample_times
+        sample_bits = gateway_array._sample_bits
+        bits_served = gateway_array.bits_served
+        last_traffic = gateway_array.last_traffic_at
+        record_sample = self._record_sample
+        next_dt = self._next_dt
+        admit_arrivals = self._admit_arrivals
+        plan_stretch = self._plan_stretch
+        single: List[float] = [0.0]
+        steps = 0
         now = 0.0
         next_sample = 0.0
         while now < horizon:
             if now >= next_sample:
-                self._record_sample(now)
-                next_sample += self.sample_interval_s
-            dt = self._next_dt(now, next_sample, horizon)
-            self._admit_arrivals(now)
-            if self.scheme.aggregation is AggregationKind.BH2:
-                self._run_bh2_decisions(now)
-            elif self.scheme.aggregation is AggregationKind.OPTIMAL and now >= self._next_optimal_at:
+                record_sample(now)
+                next_sample += sample_interval_s
+            # Inlined _next_dt active path (the idle path stays a helper).
+            self._now_hint = now
+            if scheduler._n_active > 0:
+                leftover = horizon - now
+                dt = step_s if step_s < leftover else leftover
+                stretchable = dt == step_s
+            else:
+                dt = next_dt(now, next_sample, horizon)
+                stretchable = False
+            admit_arrivals(now)
+            if is_bh2:
+                if now >= self._min_decision_at:
+                    self._run_bh2_decisions(now)
+            elif is_optimal and now >= self._next_optimal_at:
                 self._run_optimal(now)
-                self._next_optimal_at += self.scheme.optimal_period_s
-            self._serve_flows(now, dt)
-            self._step_gateways(now, dt)
-            self._update_dslam()
-            self._charge_energy(now, dt)
-            now += dt
+                self._next_optimal_at += optimal_period_s
+
+            # ---- plan the step (possibly a stretched run of grid steps)
+            has_active = scheduler._n_active > 0
+            if stretchable and has_active:
+                grid = plan_stretch(now, next_sample, horizon)
+            else:
+                grid = None
+            if grid is None:
+                k = 1
+                end = now + dt
+                single[0] = end
+                grid = single
+            else:
+                k = len(grid)
+                end = grid[-1]
+
+            # ---- serve flows at the cached constant rates
+            if k > 1 and gateway_array.version != self._dslam_version:
+                # Intermediate grid steps re-run the DSLAM packing with the
+                # loop-top state (exactly as the seed does once per step).
+                self._sync_dslam()
+            pre_active = gateway_array.active_count
+            pre_waking = gateway_array.waking_count
+            pre_cards = self._cards_on
+            if has_active:
+                scheduler.ensure_rates(now, self._current_online_set())
+                if k == 1:
+                    totals, _completed = scheduler.serve_single(now, end, dt)
+                    if totals:
+                        for gateway_id, bits in totals.items():
+                            if bits > 0:
+                                bits_served[gateway_id] += bits
+                                last_traffic[gateway_id] = end
+                                if track_load:
+                                    sample_times[gateway_id].append(end)
+                                    sample_bits[gateway_id].append(bits)
+                else:
+                    served_steps, _completed = scheduler.serve(now, step_s, grid)
+                    gateway_array.record_step_totals(grid, served_steps)
+
+            # ---- advance gateway state machines, rewire, charge energy
+            gateway_array.step_to(
+                end,
+                scheduler._groups,
+                self._optimal_online if is_optimal else (),
+            )
+            if gateway_array.version != self._dslam_version:
+                self._sync_dslam()
+            post_active = gateway_array.active_count
+            post_waking = gateway_array.waking_count
+            if k == 1 or (
+                post_active == pre_active
+                and post_waking == pre_waking
+                and self._cards_on == pre_cards
+            ):
+                # Inlined copy of _accumulate_energy's segment-extend check
+                # (hot path: most steps just extend the open segment); keep
+                # the two in sync if the segment fields ever change.
+                run_segment = self._energy_run
+                if (
+                    run_segment is not None
+                    and run_segment[1] == now
+                    and run_segment[2] == post_active
+                    and run_segment[3] == post_waking
+                    and run_segment[4] == self._cards_on
+                ):
+                    run_segment[1] = end
+                else:
+                    self._accumulate_energy(now, end, post_active, post_waking, self._cards_on)
+            else:
+                # Transitions happen only at the end of the final grid step,
+                # so the earlier steps are charged with the pre-transition
+                # state and the final one with the post-transition state
+                # (the seed charges each step with its end-of-step state).
+                second_last = grid[-2]
+                self._accumulate_energy(now, second_last, pre_active, pre_waking, pre_cards)
+                self._accumulate_energy(second_last, end, post_active, post_waking, self._cards_on)
+
+            now = end
+            steps += 1
+        self.steps_taken = steps
+        self._flush_energy()
+        # The seed accrues state time through the final (possibly
+        # horizon-overshooting) step, so flush at the actual end instant.
+        self.gateway_array.flush_statistics(now)
         self._record_sample(min(now, horizon))
         return self._build_result(horizon)
 
@@ -261,44 +501,87 @@ class AccessNetworkSimulator:
     # Flow admission and routing
     # ------------------------------------------------------------------
     def _admit_arrivals(self, now: float) -> None:
-        while (
-            self._arrival_index < len(self._arrivals)
-            and self._arrivals[self._arrival_index].start_time <= now
-        ):
-            flow = self._arrivals[self._arrival_index]
-            self._arrival_index += 1
-            self._route_flow(flow, now)
-
-    def _route_flow(self, flow: Flow, now: float) -> None:
-        client = flow.client_id
-        gateway_id = self._routing_gateway(client, now)
-        home = self.scenario.trace.home_gateway[client]
-        is_home = gateway_id == home
-        capacity = self.channel.capacity(client, gateway_id, is_home)
-        active = ActiveFlow(flow=flow, gateway_id=gateway_id, wireless_capacity_bps=capacity)
-        self.scheduler.admit(active)
-        gateway = self.gateways[gateway_id]
-        if gateway.is_sleeping:
-            gateway.request_wake(now)
-        gateway.touch(now)
+        index = self._arrival_index
+        times = self._arrival_times
+        count = len(times)
+        if index >= count or times[index] > now:
+            return
+        arrivals = self._arrivals
+        scheduler = self.scheduler
+        # Admission bookkeeping is inlined (the scheduler's admit() contract,
+        # minus the per-call overhead): append to the gateway group, mark the
+        # gateway's rates dirty, count the flow.
+        groups = scheduler._groups
+        dirty = scheduler._dirty
+        admit_counter = scheduler._admit_counter
+        admitted = 0
+        gateway_array = self.gateway_array
+        state = gateway_array.state
+        last_traffic = gateway_array.last_traffic_at
+        home_map = self._home_gateway
+        home_capacity = self._home_capacity
+        capacity_cache = self.channel._cache
+        capacity_of = self.channel.capacity
+        simple = self._simple_routing
+        selected_map = self.selected_gateway
+        fallback_map = self.fallback_gateway
+        stop = bisect_right(times, now, index)
+        for i in range(index, stop):
+            flow = arrivals[i]
+            client = flow.client_id
+            if simple:
+                # Without aggregation every flow goes through the home gateway.
+                gateway_id = home_map[client]
+                capacity = home_capacity[client]
+            else:
+                selected = selected_map[client]
+                if state[selected] == STATE_ACTIVE:
+                    # Inlined fast path of _routing_gateway: the selected
+                    # gateway is online, route straight through it.
+                    fallback_map[client] = None
+                    gateway_id = selected
+                else:
+                    gateway_id = self._routing_gateway(client, now)
+                if gateway_id == home_map[client]:
+                    capacity = home_capacity[client]
+                else:
+                    capacity = capacity_cache.get((client, gateway_id))
+                    if capacity is None:
+                        capacity = capacity_of(client, gateway_id, False)
+            active = ActiveFlow(flow, gateway_id, capacity)
+            active.admission_index = admit_counter + admitted
+            group = groups.get(gateway_id)
+            if group is None:
+                groups[gateway_id] = [active]
+            else:
+                group.append(active)
+            dirty.add(gateway_id)
+            admitted += 1
+            if state[gateway_id] == STATE_SLEEPING:
+                gateway_array.request_wake(gateway_id, now)
+            if now > last_traffic[gateway_id]:
+                last_traffic[gateway_id] = now
+        scheduler._n_active += admitted
+        scheduler._admit_counter = admit_counter + admitted
+        self._arrival_index = stop
 
     def _routing_gateway(self, client: int, now: float) -> int:
         """Which gateway a *new* flow of ``client`` should be routed through."""
-        home = self.scenario.trace.home_gateway[client]
+        home = self._home_gateway[client]
         selected = self.selected_gateway.get(client, home)
-        gateway = self.gateways[selected]
-        if gateway.is_online:
+        state = self.gateway_array.state
+        if state[selected] == STATE_ACTIVE:
             self.fallback_gateway[client] = None
             return selected
         if selected == home:
             # Home gateway is asleep or waking: wake it and wait.
             return home
-        if gateway.is_waking:
+        if state[selected] == STATE_WAKING:
             # We are waiting for a remote gateway: keep traffic on the
             # fallback (usually the previous gateway) while it becomes
             # operational, otherwise wait.
             fallback = self.fallback_gateway.get(client)
-            if fallback is not None and self.gateways[fallback].is_online:
+            if fallback is not None and state[fallback] == STATE_ACTIVE:
                 return fallback
             return selected
         # The selected remote gateway went to sleep.  A terminal can only
@@ -314,50 +597,154 @@ class AccessNetworkSimulator:
 
     def _best_online_gateway(self, client: int) -> Optional[int]:
         """Least-loaded online gateway reachable by ``client`` (optimal scheme)."""
+        state = self.gateway_array.state
         candidates = [
             g
             for g in self.scenario.topology.reachable[client]
-            if self.gateways[g].is_online
+            if state[g] == STATE_ACTIVE
         ]
         if not candidates:
             return None
-        return min(candidates, key=lambda g: self.gateways[g].utilization(self._now_hint))
+        return min(candidates, key=lambda g: self.gateway_array.utilization(g, self._now_hint))
 
     # ------------------------------------------------------------------
     # Aggregation logic
     # ------------------------------------------------------------------
     def _run_bh2_decisions(self, now: float) -> None:
-        due = [t for t in self.terminals.values() if t.decision_due(now)]
+        heap = self._decision_heap
+        decision_times = self._decision_at
+        due: List[int] = []
+        while heap and heap[0][0] <= now:
+            instant, index = heappop(heap)
+            if decision_times[index] == instant:
+                due.append(index)
+            # Entries whose time moved on are stale duplicates: drop them.
         if not due:
+            self._min_decision_at = heap[0][0] if heap else inf
             return
-        observations = self._gateway_observations(now)
-        clients_with_flows = {f.client_id for f in self.scheduler.active_flows}
-        for terminal in due:
+        due.sort()
+        view = self._gateway_observations(now)
+        online_flags = view.online
+        loads = view.load
+        # When no gateway at all is hitch-hiking-eligible this round (very
+        # common at night), every candidate search is provably empty and the
+        # terminals can skip it.
+        bh2_config = self.scheme.bh2
+        # A candidate needs load above either tier's floor (the preferred
+        # tier uses low_threshold, the fallback tier candidate_min_load —
+        # either may be the smaller) and below the high threshold.
+        min_load = min(bh2_config.candidate_min_load, bh2_config.low_threshold)
+        high = bh2_config.high_threshold
+        candidates_possible = False
+        for gateway_id in self._current_online_set():
+            load = loads[gateway_id]
+            if min_load < load < high:
+                candidates_possible = True
+                break
+        # Only decisions that send a terminal home with a wake request need
+        # the set of clients with traffic — compute it lazily (rare).
+        clients_with_flows: Optional[Set[int]] = None
+        gateway_array = self.gateway_array
+        state = gateway_array.state
+        decision_at = self._decision_at
+        terminals = self._terminal_list
+        selected_map = self.selected_gateway
+        fallback_map = self.fallback_gateway
+        for index in due:
+            terminal = terminals[index]
             previous = terminal.current_gateway
-            decision = terminal.decide(now, observations)
-            client = terminal.client_id
-            if decision.selected_gateway != previous:
-                if decision.wake_home and client in clients_with_flows:
-                    # Wake the home gateway only when there is traffic to
-                    # carry back; idle terminals re-attach lazily (the next
-                    # flow arrival wakes the home gateway if still needed).
-                    self.gateways[terminal.home_gateway].request_wake(now)
-                    # Traffic keeps using the previous gateway while home wakes.
-                    if self.gateways[previous].is_online:
-                        self.fallback_gateway[client] = previous
-                else:
-                    self.fallback_gateway[client] = None
-            self.selected_gateway[client] = decision.selected_gateway
-
-    def _gateway_observations(self, now: float) -> Dict[int, GatewayObservation]:
-        observations = {}
-        for gateway_id, gateway in self.gateways.items():
-            observations[gateway_id] = GatewayObservation(
-                gateway_id=gateway_id,
-                online=gateway.is_online,
-                load=gateway.utilization(now) if gateway.is_online else 0.0,
+            selected, wake_home = terminal.decide_fast(
+                now, online_flags, loads, candidates_possible
             )
-        return observations
+            client = terminal.client_id
+            if selected != previous:
+                if wake_home:
+                    if clients_with_flows is None:
+                        clients_with_flows = self.scheduler.clients_with_traffic()
+                    if client in clients_with_flows:
+                        # Wake the home gateway only when there is traffic to
+                        # carry back; idle terminals re-attach lazily (the next
+                        # flow arrival wakes the home gateway if still needed).
+                        gateway_array.request_wake(terminal.home_gateway, now)
+                        # Traffic keeps using the previous gateway while home wakes.
+                        if state[previous] == STATE_ACTIVE:
+                            fallback_map[client] = previous
+                    else:
+                        fallback_map[client] = None
+                else:
+                    fallback_map[client] = None
+            # Unconditional: _routing_gateway may have rerouted this client
+            # behind the terminal's back; every decision re-asserts it.
+            selected_map[client] = selected
+            next_at = terminal._next_decision_at
+            decision_at[index] = next_at
+            heappush(heap, (next_at, index))
+        self._min_decision_at = heap[0][0] if heap else inf
+
+    def _gateway_observations(self, now: float) -> GatewayObservationArray:
+        """Refresh and return the reusable array-backed observation view."""
+        view = self._obs_view
+        online_flags = view.online
+        loads = view.load
+        gateway_array = self.gateway_array
+        if self._obs_flags_version != gateway_array.version:
+            state = gateway_array.state
+            for gateway_id in range(self.scenario.num_gateways):
+                online_flags[gateway_id] = state[gateway_id] == STATE_ACTIVE
+            self._obs_flags_version = gateway_array.version
+        # Offline gateways keep stale load entries: every consumer gates the
+        # read behind the online flag, so only online loads need refreshing.
+        # Inlined utilisation fast path: reuse each gateway's cached window
+        # sum while its live sample slice is unchanged.
+        window = gateway_array.load_window_s
+        denom = gateway_array.backhaul_bps * window
+        sample_times = gateway_array._sample_times
+        util_cache = gateway_array._util_cache
+        utilization = gateway_array.utilization
+        horizon = now - window
+        windowed = now >= window
+        for gateway_id in self._current_online_set():
+            times = sample_times[gateway_id]
+            length = len(times)
+            cached = util_cache[gateway_id]
+            if (
+                windowed
+                and cached[1] == length
+                and (cached[0] == length or times[cached[0]] >= horizon)
+            ):
+                load = cached[2] / denom
+                loads[gateway_id] = load if load < 1.0 else 1.0
+            else:
+                loads[gateway_id] = utilization(gateway_id, now)
+        return view
+
+    def _optimal_wireless(self) -> Dict[Tuple[int, int], float]:
+        """The full client↔gateway wireless-capacity map, built once.
+
+        Entries for clients without demand in a given period are harmless:
+        the solver only consults the pairs of its demand users.
+        """
+        cached = self._optimal_wireless_cache
+        if cached is None:
+            topology = self.scenario.topology
+            capacity_of = self.channel.capacity
+            cached = {}
+            for client, home in topology.home_gateway.items():
+                for gateway in topology.reachable[client]:
+                    cached[(client, gateway)] = capacity_of(client, gateway, gateway == home)
+            self._optimal_wireless_cache = cached
+        return cached
+
+    def _optimal_capacities(self) -> Dict[int, float]:
+        """Per-gateway backhaul capacities (constant; built once)."""
+        cached = self._optimal_capacities_cache
+        if cached is None:
+            cached = {
+                g: self.scenario.wireless.backhaul_bps
+                for g in range(self.scenario.num_gateways)
+            }
+            self._optimal_capacities_cache = cached
+        return cached
 
     def _precompute_period_demand(self) -> Dict[int, Dict[int, float]]:
         """Per-period, per-client demand (bps) implied by the trace.
@@ -369,10 +756,17 @@ class AccessNetworkSimulator:
         """
         period = self.scheme.optimal_period_s
         demand: Dict[int, Dict[int, float]] = {}
+        # Arrivals are sorted by start time, so the period buckets come in
+        # non-decreasing runs and the bucket lookup can be hoisted.
+        current_index = -1
+        bucket: Dict[int, float] = {}
         for flow in self._arrivals:
             index = int(flow.start_time // period)
-            bucket = demand.setdefault(index, {})
-            bucket[flow.client_id] = bucket.get(flow.client_id, 0.0) + flow.size_bytes * 8.0 / period
+            if index != current_index:
+                bucket = demand.setdefault(index, {})
+                current_index = index
+            client = flow.client_id
+            bucket[client] = bucket.get(client, 0.0) + flow.size_bytes * 8.0 / period
         return demand
 
     def _run_optimal(self, now: float) -> None:
@@ -392,113 +786,189 @@ class AccessNetworkSimulator:
         cap = self.scenario.wireless.backhaul_bps
         demands = {c: min(d, cap) for c, d in demands.items()}
         topology = self.scenario.topology
-        wireless: Dict[Tuple[int, int], float] = {}
-        for client in demands:
-            home = topology.home_gateway[client]
-            for gateway in topology.reachable[client]:
-                wireless[(client, gateway)] = self.channel.capacity(
-                    client, gateway, gateway == home
-                )
         problem = AggregationProblem(
             demands_bps=demands,
-            capacities_bps={
-                g: self.scenario.wireless.backhaul_bps for g in range(self.scenario.num_gateways)
-            },
-            wireless_bps=wireless,
+            capacities_bps=self._optimal_capacities(),
+            wireless_bps=self._optimal_wireless(),
             backup=self.scheme.bh2.backup,
             max_utilization=self.scheme.optimal_max_utilization,
         )
         solution = self._optimal_solver.solve(problem)
         self._optimal_online = set(solution.online_gateways)
         # Wake the selected gateways (instantaneously for the idealised bound).
+        gateway_array = self.gateway_array
         for gateway_id in solution.online_gateways:
-            gateway = self.gateways[gateway_id]
-            if gateway.is_sleeping:
-                gateway.request_wake(now)
-            gateway.touch(now)
+            if gateway_array.state[gateway_id] == STATE_SLEEPING:
+                gateway_array.request_wake(gateway_id, now)
+            gateway_array.touch(gateway_id, now)
         # Migrate in-flight flows and update the routing of future flows.
+        assignment = solution.assignment
+        home_gateway = topology.home_gateway
         for flow in self.scheduler.active_flows:
             client = flow.client_id
-            primary = solution.primary_gateway(client)
-            if primary is not None and primary != flow.gateway_id:
-                home = topology.home_gateway[client]
-                flow.gateway_id = primary
-                flow.wireless_capacity_bps = self.channel.capacity(
-                    client, primary, primary == home
-                )
+            assigned = assignment.get(client)
+            if assigned:
+                primary = assigned[0]
+                if primary != flow.gateway_id:
+                    self.scheduler.migrate(
+                        flow,
+                        primary,
+                        self.channel.capacity(client, primary, primary == home_gateway[client]),
+                    )
+        selected_map = self.selected_gateway
         for client in demands:
-            primary = solution.primary_gateway(client)
-            if primary is not None:
-                self.selected_gateway[client] = primary
+            assigned = assignment.get(client)
+            if assigned:
+                selected_map[client] = assigned[0]
 
     # ------------------------------------------------------------------
     # Per-step mechanics
     # ------------------------------------------------------------------
-    def _serve_flows(self, now: float, dt: float) -> None:
-        online = {g for g, gw in self.gateways.items() if gw.is_online}
-        served, _completed = self.scheduler.step(now, dt, online)
-        for gateway_id, bits in served.items():
-            if bits > 0:
-                self.gateways[gateway_id].record_traffic(bits, now + dt)
+    def _current_online_set(self) -> Set[int]:
+        """Set of online gateway ids; the same object while states are unchanged.
 
-    def _step_gateways(self, now: float, dt: float) -> None:
-        pending = self.scheduler.gateways_with_traffic()
-        if self.scheme.aggregation is AggregationKind.OPTIMAL:
-            pending = pending | self._optimal_online
-        end = now + dt
-        for gateway_id, gateway in self.gateways.items():
-            gateway.step(end, dt, has_pending_traffic=gateway_id in pending)
+        Object identity doubles as the scheduler's change signal, so a new
+        set is only built when some gateway actually transitioned.
+        """
+        if self._online_version != self.gateway_array.version:
+            self._online_set = set(self.gateway_array.online_ids())
+            self._online_version = self.gateway_array.version
+        return self._online_set
 
-    def _update_dslam(self) -> None:
-        line_active = {
-            g: not gw.is_sleeping for g, gw in self.gateways.items()
-        }
-        if self.dslam.mode is SwitchingMode.FIXED:
+    def _sync_dslam(self) -> None:
+        """Re-pack the HDF switches and refresh the line-card count.
+
+        The seed rewires every step; rewiring is deterministic and
+        idempotent for unchanged gateway states, so it only needs to run
+        when some state actually changed.
+        """
+        gateway_array = self.gateway_array
+        if gateway_array.version == self._dslam_version:
             return
-        if self.scheme.idealized_transitions:
-            movable = set(self.gateways)
-        else:
-            movable = {g for g, gw in self.gateways.items() if not gw.is_online}
-        self.dslam.rewire(line_active, movable)
+        state = gateway_array.state
+        if self.dslam.mode is not SwitchingMode.FIXED:
+            line_active = {
+                g: state[g] != STATE_SLEEPING for g in range(self.scenario.num_gateways)
+            }
+            if self.scheme.idealized_transitions:
+                movable = set(range(self.scenario.num_gateways))
+            else:
+                movable = {
+                    g for g in range(self.scenario.num_gateways) if state[g] != STATE_ACTIVE
+                }
+            self.dslam.rewire(line_active, movable)
+        self._cards_on = len(self.dslam.online_cards(gateway_array.not_sleeping_ids()))
+        self._dslam_version = gateway_array.version
 
-    def _charge_energy(self, now: float, dt: float) -> None:
-        active = sum(1 for gw in self.gateways.values() if gw.state is PowerState.ACTIVE)
-        waking = sum(1 for gw in self.gateways.values() if gw.state is PowerState.WAKING)
-        modems_on = active + waking
-        cards_on = len(self.dslam.online_cards(
-            [g for g, gw in self.gateways.items() if not gw.is_sleeping]
-        ))
+    def _accumulate_energy(
+        self, start: float, end: float, active: int, waking: int, cards_on: int
+    ) -> None:
+        """Extend the pending constant-power segment or flush and restart it."""
+        run = self._energy_run
+        if (
+            run is not None
+            and run[1] == start
+            and run[2] == active
+            and run[3] == waking
+            and run[4] == cards_on
+        ):
+            run[1] = end
+        else:
+            self._flush_energy()
+            self._energy_run = [start, end, active, waking, cards_on]
+
+    def _flush_energy(self) -> None:
+        run = self._energy_run
+        if run is None:
+            return
+        start, end, active, waking, cards_on = run
+        duration = end - start
         model = self.power_model
-        self.energy.charge_at("gateway", model.user_side_power(active, waking), now, dt)
-        self.energy.charge_at("isp_modem", modems_on * model.isp_modem.active_w, now, dt)
-        self.energy.charge_at("line_card", cards_on * model.line_card.active_w, now, dt)
-        self.energy.charge_at("dslam_shelf", model.dslam_shelf.active_w, now, dt)
+        energy = self.energy
+        energy.charge_at("gateway", model.user_side_power(active, waking), start, duration)
+        energy.charge_at("isp_modem", (active + waking) * model.isp_modem.active_w, start, duration)
+        energy.charge_at("line_card", cards_on * model.line_card.active_w, start, duration)
+        energy.charge_at("dslam_shelf", model.dslam_shelf.active_w, start, duration)
+        self._energy_run = None
 
     def _record_sample(self, now: float) -> None:
-        active = sum(1 for gw in self.gateways.values() if gw.state is PowerState.ACTIVE)
-        waking = sum(1 for gw in self.gateways.values() if gw.state is PowerState.WAKING)
-        not_sleeping = [g for g, gw in self.gateways.items() if not gw.is_sleeping]
-        cards_on = len(self.dslam.online_cards(not_sleeping))
-        self._samples.append((now, active + waking, waking, len(not_sleeping), cards_on))
+        active = self.gateway_array.active_count
+        waking = self.gateway_array.waking_count
+        powered = active + waking
+        self._samples.append((now, powered, waking, powered, self._cards_on))
 
     # ------------------------------------------------------------------
     def _next_dt(self, now: float, next_sample: float, horizon: float) -> float:
         self._now_hint = now
         dt = self.step_s
-        if self.scheduler.active_flows:
+        if self.scheduler.has_active:
             return min(dt, horizon - now)
         # Network idle: skip ahead to the next interesting instant.
         candidates = [now + self.MAX_IDLE_SKIP_S, next_sample if next_sample > now else now + dt, horizon]
         if self._arrival_index < len(self._arrivals):
-            candidates.append(self._arrivals[self._arrival_index].start_time)
+            candidates.append(self._arrival_times[self._arrival_index])
         if self.scheme.aggregation is AggregationKind.OPTIMAL:
             candidates.append(self._next_optimal_at if self._next_optimal_at > now else now + dt)
-        for gateway in self.gateways.values():
-            transition = gateway.next_transition_time()
-            if transition is not None and transition > now:
-                candidates.append(transition)
+        transition = self.gateway_array.idle_transition_candidates(now)
+        if isfinite(transition):
+            candidates.append(transition)
         target = min(c for c in candidates if c > now)
         return max(self.step_s, min(target - now, self.MAX_IDLE_SKIP_S, horizon - now))
+
+    def _plan_stretch(
+        self, now: float, next_sample: float, horizon: float
+    ) -> Optional[List[float]]:
+        """Grid instants (step ends) of the longest provably event-free run.
+
+        The returned run may *end* on an event instant — loop-top events
+        (samples, arrivals, decision epochs, optimal solves) are handled at
+        the next iteration's top and end-of-step events (wake completions,
+        idle-timeout sleeps, flow completions) are applied at the end of the
+        final step, exactly where the seed kernel applies them.  Returns
+        ``None`` when no stretch beyond a single step is possible.
+        """
+        step = self.step_s
+        # Cheap scalar bounds first: most busy steps are capped at one step
+        # by the next arrival or completion, so bail before any set work.
+        limit = next_sample
+        if self._arrival_index < len(self._arrival_times):
+            arrival = self._arrival_times[self._arrival_index]
+            if arrival < limit:
+                limit = arrival
+        if self._min_decision_at < limit:
+            limit = self._min_decision_at
+        if self.scheme.aggregation is AggregationKind.OPTIMAL and self._next_optimal_at < limit:
+            limit = self._next_optimal_at
+        if limit <= now + step:
+            return None
+        pending = self.scheduler.gateway_group_map()
+        if self.scheme.aggregation is AggregationKind.OPTIMAL and self._optimal_online:
+            pending = set(pending) | self._optimal_online
+        transition = self.gateway_array.stretch_transition_bound(pending)
+        if transition < limit:
+            limit = transition
+        if limit <= now + step:
+            return None
+        completion = self.scheduler.stretch_completion_bound(
+            now, self._current_online_set(), self._sleep_guard_s
+        )
+        if completion < limit:
+            limit = completion
+            if limit <= now + step:
+                return None
+        grid: List[float] = []
+        t = now
+        max_steps = self._max_stretch
+        while len(grid) < max_steps:
+            if horizon - t < step:
+                break
+            t = t + step
+            grid.append(t)
+            if t >= limit:
+                break
+        if not grid:
+            return None
+        return grid
 
     # ------------------------------------------------------------------
     def _build_result(self, horizon: float) -> SimulationResult:
@@ -516,6 +986,7 @@ class AccessNetworkSimulator:
             modems_online=self.scenario.num_gateways,
             line_cards_online=self.scenario.dslam.num_line_cards,
         )
+        gateway_array = self.gateway_array
         return SimulationResult(
             scheme_name=self.scheme.name,
             duration=horizon,
@@ -530,12 +1001,20 @@ class AccessNetworkSimulator:
             energy_series_times=np.array(energy_times, dtype=float),
             energy_series_total_j=np.array(energy_total, dtype=float),
             energy_series_isp_j=np.array(energy_isp, dtype=float),
-            flow_records=self.scheduler.records(baselines=self.baseline_durations),
+            # Bind only what records() needs — closing over `self` would pin
+            # the whole simulator in memory for every unmaterialised run.
+            flow_records=LazyFlowRecords(
+                lambda scheduler=self.scheduler, baselines=self.baseline_durations: (
+                    scheduler.records(baselines=baselines)
+                )
+            ),
             gateway_online_seconds={
-                g: gw.online_seconds + gw.waking_seconds for g, gw in self.gateways.items()
+                g: gateway_array.online_seconds[g] + gateway_array.waking_seconds[g]
+                for g in range(self.scenario.num_gateways)
             },
             baseline_power_w=baseline_power,
             baseline_isp_power_w=baseline_isp,
+            steps_taken=self.steps_taken,
         )
 
     #: Time hint used by helpers that need "now" outside the main loop.

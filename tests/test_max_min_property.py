@@ -1,0 +1,92 @@
+"""Property tests: the vectorized max-min allocator matches the reference.
+
+The public :func:`max_min_allocation` is a sort-based closed form; the
+seed's O(n²) iterative water-filling is kept as
+:func:`_max_min_allocation_reference` and used as the oracle on randomized
+capacity/cap sets, including adversarial shapes (duplicates, zeros, huge
+spreads).  The in-simulator shortcut paths of the scheduler must agree with
+the reference bit for bit, because flow service derives from them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flows.scheduler import (
+    FlowScheduler,
+    _max_min_allocation_reference,
+    _water_fill,
+    max_min_allocation,
+)
+
+
+@given(
+    capacity=st.floats(min_value=0.0, max_value=1e9),
+    caps=st.lists(st.floats(min_value=0.0, max_value=1e9), min_size=0, max_size=24),
+)
+@settings(max_examples=300, deadline=None)
+def test_vectorized_matches_reference(capacity, caps):
+    reference = _max_min_allocation_reference(capacity, caps)
+    vectorized = max_min_allocation(capacity, caps)
+    assert len(vectorized) == len(reference)
+    for fast, slow in zip(vectorized, reference):
+        assert fast == pytest.approx(slow, rel=1e-9, abs=1e-6)
+
+
+@given(
+    capacity=st.floats(min_value=0.0, max_value=1e9),
+    caps=st.lists(st.floats(min_value=0.0, max_value=1e9), min_size=0, max_size=16),
+)
+@settings(max_examples=300, deadline=None)
+def test_water_fill_bit_identical_to_reference(capacity, caps):
+    """The scheduler's validation-free loop replays the reference exactly."""
+    assert _water_fill(capacity, caps) == _max_min_allocation_reference(capacity, caps)
+
+
+@given(
+    capacity=st.floats(min_value=1e3, max_value=1e8),
+    cap_value=st.floats(min_value=1e3, max_value=1e8),
+    n=st.integers(min_value=2, max_value=12),
+)
+@settings(max_examples=200, deadline=None)
+def test_equal_caps_match_reference_exactly(capacity, cap_value, n):
+    caps = [cap_value] * n
+    assert _water_fill(capacity, caps) == _max_min_allocation_reference(capacity, caps)
+
+
+def test_duplicate_caps_and_ties():
+    caps = [2e6, 2e6, 2e6, 8e6, 8e6]
+    reference = _max_min_allocation_reference(6e6, caps)
+    vectorized = max_min_allocation(6e6, caps)
+    for fast, slow in zip(vectorized, reference):
+        assert fast == pytest.approx(slow, rel=1e-12)
+    assert sum(vectorized) == pytest.approx(6e6, rel=1e-9)
+
+
+def test_validation_preserved():
+    with pytest.raises(ValueError):
+        max_min_allocation(-1.0, [1.0])
+    with pytest.raises(ValueError):
+        max_min_allocation(1.0, [-1.0])
+    assert max_min_allocation(5.0, []) == []
+
+
+def test_scheduler_rates_match_reference_water_filling():
+    """Rates cached by the scheduler equal a fresh reference allocation."""
+    from repro.flows.flow import ActiveFlow
+    from repro.traces.models import Flow
+
+    scheduler = FlowScheduler(backhaul_bps=6e6)
+    caps = [1e6, 12e6, 6e6, 6e6]
+    flows = []
+    for i, cap in enumerate(caps):
+        flow = ActiveFlow(
+            flow=Flow(flow_id=i, client_id=i, start_time=0.0, size_bytes=10_000_000),
+            gateway_id=4,
+            wireless_capacity_bps=cap,
+        )
+        flows.append(flow)
+        scheduler.admit(flow)
+    scheduler.ensure_rates(0.0, {4})
+    expected = _max_min_allocation_reference(6e6, caps)
+    assert [f.rate_bps for f in flows] == expected

@@ -1,0 +1,87 @@
+"""Determinism and parallel-runner identity of the experiment layer.
+
+The seed derived each run's RNG seed from ``hash(scheme.name)``, which
+varies with ``PYTHONHASHSEED`` — "identical" runs differed across
+processes.  The runner now derives seeds with ``zlib.crc32``
+(:func:`repro.simulation.runner.scheme_run_seed`), so repeated runs and
+worker processes agree exactly.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import bh2_kswitch, no_sleep, soi
+from repro.simulation.runner import (
+    ExperimentRunner,
+    ParallelExperimentRunner,
+    scheme_run_seed,
+)
+from repro.topology.scenario import build_default_scenario
+
+FLAT_PROFILE = tuple([1.0] * 24)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_default_scenario(
+        seed=5,
+        num_clients=40,
+        num_gateways=8,
+        duration=1800.0,
+        diurnal_profile=FLAT_PROFILE,
+        peak_online_probability=0.5,
+    )
+
+
+def test_scheme_run_seed_is_hash_seed_independent():
+    # crc32 is a pure function of the bytes — no interpreter state involved.
+    assert scheme_run_seed(0, 0, "SoI") == zlib.crc32(b"SoI") % 997
+    assert scheme_run_seed(10, 2, "BH2+k-switch") == 10 + 2000 + zlib.crc32(b"BH2+k-switch") % 997
+    assert scheme_run_seed(0, 0, "a") != scheme_run_seed(0, 0, "b")
+
+
+def test_repeated_runs_are_identical(scenario):
+    schemes = [no_sleep(), soi(), bh2_kswitch()]
+    first = ExperimentRunner(scenario, runs_per_scheme=2, step_s=2.0, base_seed=3).run(schemes)
+    second = ExperimentRunner(scenario, runs_per_scheme=2, step_s=2.0, base_seed=3).run(schemes)
+    for scheme in schemes:
+        assert first.mean_savings(scheme.name) == second.mean_savings(scheme.name)
+        assert first.mean_online_gateways(scheme.name) == second.mean_online_gateways(scheme.name)
+        for run_a, run_b in zip(first.results[scheme.name], second.results[scheme.name]):
+            assert np.array_equal(run_a.online_gateways, run_b.online_gateways)
+
+
+def test_parallel_runner_matches_serial_bitwise(scenario):
+    """N workers must reproduce the serial aggregates bit for bit."""
+    schemes = [no_sleep(), soi(), bh2_kswitch()]
+    serial = ExperimentRunner(scenario, runs_per_scheme=2, step_s=2.0, base_seed=7).run(schemes)
+    parallel = ParallelExperimentRunner(
+        scenario, runs_per_scheme=2, step_s=2.0, base_seed=7, workers=2
+    ).run(schemes)
+    assert parallel.scheme_names == serial.scheme_names
+    for scheme in schemes:
+        name = scheme.name
+        assert parallel.mean_savings(name) == serial.mean_savings(name)
+        assert parallel.mean_online_gateways(name) == serial.mean_online_gateways(name)
+        assert parallel.mean_online_line_cards(name) == serial.mean_online_line_cards(name)
+        for run_s, run_p in zip(serial.results[name], parallel.results[name]):
+            assert np.array_equal(run_s.online_gateways, run_p.online_gateways)
+            assert np.array_equal(run_s.energy_series_total_j, run_p.energy_series_total_j)
+            assert run_s.flow_durations() == run_p.flow_durations()
+
+
+def test_parallel_runner_validates_workers(scenario):
+    with pytest.raises(ValueError):
+        ParallelExperimentRunner(scenario, workers=0)
+
+
+def test_parallel_runner_single_worker_inline(scenario):
+    """workers=1 avoids the pool entirely but still matches the serial run."""
+    schemes = [soi()]
+    serial = ExperimentRunner(scenario, runs_per_scheme=1, step_s=2.0, base_seed=1).run(schemes)
+    inline = ParallelExperimentRunner(
+        scenario, runs_per_scheme=1, step_s=2.0, base_seed=1, workers=1
+    ).run(schemes)
+    assert inline.mean_savings("SoI") == serial.mean_savings("SoI")
