@@ -36,6 +36,7 @@ from repro.core.schemes import (
 from repro.power.models import AccessNetworkPowerModel, DEFAULT_POWER_MODEL
 from repro.simulation.runner import ExperimentRunner, SchemeComparison, run_scheme
 from repro.simulation.simulator import AccessNetworkSimulator, SimulationResult
+from repro.sweep import ResultStore, ScenarioFamily, ScenarioSpec, run_sweep
 from repro.topology.scenario import DslamConfig, Scenario, build_default_scenario
 from repro.traces.synthetic import SyntheticTraceConfig, generate_crawdad_like_trace
 
@@ -67,6 +68,10 @@ __all__ = [
     "Scenario",
     "DslamConfig",
     "build_default_scenario",
+    "ScenarioFamily",
+    "ScenarioSpec",
+    "ResultStore",
+    "run_sweep",
     "SyntheticTraceConfig",
     "generate_crawdad_like_trace",
 ]

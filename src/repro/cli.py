@@ -5,6 +5,7 @@ Commands
 
 ``trace``      generate a synthetic trace and print its aggregate statistics
 ``simulate``   run the scheme comparison and print the savings summary
+``sweep``      run the scenario-catalog sweep (cached, resumable)
 ``figure``     regenerate the data behind one of the paper's figures
 ``crosstalk``  run the Fig. 14 crosstalk speedup experiment
 ``testbed``    run the Fig. 12 testbed replay
@@ -58,6 +59,62 @@ def _add_simulate_parser(subparsers) -> None:
     )
 
 
+def _add_sweep_parser(subparsers) -> None:
+    from repro.sweep import family_names
+
+    parser = subparsers.add_parser(
+        "sweep",
+        help="run the scenario-catalog sweep with result-store caching",
+        description="Expand the selected scenario families into their "
+        "parameter grids, run every scenario x scheme x repetition cell "
+        "(serving cached cells from the result store), and print "
+        "cross-scenario savings tables.",
+    )
+    parser.add_argument(
+        "--family",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scenario family to include (repeatable; default: all); "
+        f"known: {', '.join(family_names())}",
+    )
+    parser.add_argument("--list-families", action="store_true",
+                        help="list the registered scenario families and exit")
+    parser.add_argument("--runs", type=int, default=1, help="repetitions per scheme")
+    parser.add_argument("--step", type=float, default=2.0, help="simulation step (s)")
+    parser.add_argument("--sample", type=float, default=60.0, help="metric sampling interval (s)")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard the grid over this many processes "
+        "(aggregates are identical to a serial run; default: serial)",
+    )
+    parser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve runs already in the result store from cache "
+        "(--no-resume forces recomputation; the store is still updated)",
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default="sweep-results",
+        metavar="DIR",
+        help="result-store directory (default: ./sweep-results)",
+    )
+    parser.add_argument(
+        "--schemes",
+        type=str,
+        default=None,
+        help="comma-separated scheme names (default: the Fig. 6 set); "
+        f"known: {', '.join(all_schemes())}",
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="print the sweep result as JSON instead of tables")
+
+
 def _add_figure_parser(subparsers) -> None:
     parser = subparsers.add_parser("figure", help="regenerate the data behind a figure")
     parser.add_argument(
@@ -88,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_trace_parser(subparsers)
     _add_simulate_parser(subparsers)
+    _add_sweep_parser(subparsers)
     _add_figure_parser(subparsers)
     _add_crosstalk_parser(subparsers)
     _add_testbed_parser(subparsers)
@@ -118,6 +176,16 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _resolve_schemes(spec: str):
+    """Comma-separated scheme names -> configs; None after printing an error."""
+    known = all_schemes()
+    try:
+        return [known[name.strip()] for name in spec.split(",")]
+    except KeyError as error:
+        print(f"unknown scheme {error}; known schemes: {', '.join(known)}", file=sys.stderr)
+        return None
+
+
 def _cmd_simulate(args) -> int:
     scale = figures.EvaluationScale(
         num_clients=args.clients,
@@ -128,11 +196,8 @@ def _cmd_simulate(args) -> int:
         seed=args.seed,
     )
     if args.schemes:
-        known = all_schemes()
-        try:
-            schemes = [known[name.strip()] for name in args.schemes.split(",")]
-        except KeyError as error:
-            print(f"unknown scheme {error}; known schemes: {', '.join(known)}", file=sys.stderr)
+        schemes = _resolve_schemes(args.schemes)
+        if schemes is None:
             return 2
     else:
         schemes = standard_schemes()
@@ -143,6 +208,61 @@ def _cmd_simulate(args) -> int:
     if headline:
         print()
         print(report.render_key_values(headline, title="Headline numbers (Sec. 5.4)"))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro import sweep as sweep_pkg
+    from repro.sweep import (
+        ResultStore,
+        SweepConfig,
+        family_names,
+        render_sweep,
+        run_sweep,
+        sweep_to_json,
+    )
+
+    if args.list_families:
+        rows = [
+            [name, len(sweep_pkg.family(name).expand()), sweep_pkg.family(name).description]
+            for name in family_names()
+        ]
+        print(report.format_table(["family", "scenarios", "description"], rows))
+        return 0
+    known = family_names()
+    for name in args.family or []:
+        if name not in known:
+            print(f"unknown scenario family '{name}'; known families: {', '.join(known)}",
+                  file=sys.stderr)
+            return 2
+    for flag, value in [("--runs", args.runs), ("--step", args.step), ("--sample", args.sample)]:
+        if value <= 0:
+            print(f"{flag} must be positive (got {value})", file=sys.stderr)
+            return 2
+    if args.workers is not None and args.workers <= 0:
+        print(f"--workers must be positive (got {args.workers})", file=sys.stderr)
+        return 2
+    if args.schemes:
+        schemes = _resolve_schemes(args.schemes)
+        if schemes is None:
+            return 2
+    else:
+        schemes = None
+    result = run_sweep(
+        family_names=args.family,
+        schemes=schemes,
+        config=SweepConfig(
+            runs_per_scheme=args.runs, step_s=args.step, sample_interval_s=args.sample
+        ),
+        store=ResultStore(args.out),
+        workers=args.workers,
+        use_cache=args.resume,
+    )
+    if args.json:
+        print(sweep_to_json(result))
+    else:
+        print(render_sweep(result))
+        print(f"\nresult store: {args.out}")
     return 0
 
 
@@ -196,6 +316,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "trace": _cmd_trace,
         "simulate": _cmd_simulate,
+        "sweep": _cmd_sweep,
         "figure": _cmd_figure,
         "crosstalk": _cmd_crosstalk,
         "testbed": _cmd_testbed,

@@ -1,0 +1,54 @@
+"""Scenario catalog and resumable sweep orchestration.
+
+The paper evaluates Sleep-on-Idle/BH2 on one deployment point (272
+clients, 40 gateways, 24 h).  This package turns that one-off evaluation
+into an experiment pipeline:
+
+* :mod:`repro.sweep.catalog` — a declarative registry of named scenario
+  *families* (paper-default, dense-urban, sparse-rural, diurnal-office,
+  flash-crowd, backhaul-sensitivity, …), each expanding into concrete
+  :class:`~repro.topology.scenario.Scenario` objects via parameter-grid
+  expansion;
+* :mod:`repro.sweep.store` — a content-addressed on-disk result store
+  keyed by a stable digest of scenario + scheme + seed + code-relevant
+  parameters, giving cache hits on re-runs and crash-safe resume;
+* :mod:`repro.sweep.engine` — the sweep engine that shards the
+  scenario × scheme × repetition grid over a process pool with the
+  crc32-deterministic seeding of :mod:`repro.simulation.runner`, so
+  serial, parallel and resumed executions produce bit-identical
+  aggregates;
+* :mod:`repro.sweep.report` — cross-scenario savings/online-gateway
+  tables rendered through :mod:`repro.analysis.report`.
+
+Entry point: ``repro-access sweep --family <name> [--workers N]
+[--resume] [--out DIR]``.
+"""
+
+from repro.sweep.catalog import (
+    ScenarioFamily,
+    ScenarioSpec,
+    family,
+    family_names,
+    register_family,
+)
+from repro.sweep.engine import SweepConfig, SweepResult, SweepTask, expand_tasks, run_sweep
+from repro.sweep.report import render_sweep, sweep_to_json
+from repro.sweep.store import ResultStore, RunRecord, run_digest
+
+__all__ = [
+    "ResultStore",
+    "RunRecord",
+    "ScenarioFamily",
+    "ScenarioSpec",
+    "SweepConfig",
+    "SweepResult",
+    "SweepTask",
+    "expand_tasks",
+    "family",
+    "family_names",
+    "register_family",
+    "render_sweep",
+    "run_digest",
+    "run_sweep",
+    "sweep_to_json",
+]

@@ -1,0 +1,278 @@
+"""The sweep engine: shard the scenario × scheme × repetition grid.
+
+The engine generalises :class:`~repro.simulation.runner.ParallelExperimentRunner`
+from one scenario to the whole catalog grid: every task carries its own
+:class:`~repro.sweep.catalog.ScenarioSpec` and is seeded with the same
+crc32-deterministic :func:`~repro.simulation.runner.scheme_run_seed`, so a
+serial execution, a parallel execution and a resumed execution of the
+same grid produce bit-identical per-run metrics and therefore
+bit-identical aggregates.
+
+Workers rebuild scenarios from their (small, picklable) specs and keep a
+per-process cache keyed by spec, so a spec's trace is generated once per
+worker regardless of how many scheme × repetition tasks land on it.
+Completed runs stream back to the parent, which persists each one to the
+:class:`~repro.sweep.store.ResultStore` immediately — a sweep killed
+mid-run loses at most the runs that were in flight.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.schemes import SchemeConfig, standard_schemes
+from repro.simulation.runner import run_scheme, scheme_run_seed
+from repro.simulation.simulator import SimulationResult
+from repro.sweep.catalog import ScenarioFamily, ScenarioSpec, resolve_families
+from repro.sweep.store import ResultStore, RunRecord, run_digest
+
+#: Peak window (11:00-19:00) of the paper's peak-hour statistics; sweeps
+#: over traces too short to contain it fall back to the full duration.
+PEAK_WINDOW = (11 * 3600.0, 19 * 3600.0)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Execution knobs of a sweep (grid membership lives in the catalog)."""
+
+    runs_per_scheme: int = 1
+    step_s: float = 2.0
+    sample_interval_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.runs_per_scheme <= 0:
+            raise ValueError("runs_per_scheme must be positive")
+        if self.step_s <= 0 or self.sample_interval_s <= 0:
+            raise ValueError("step_s and sample_interval_s must be positive")
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One cell of the scenario × scheme × repetition grid."""
+
+    family: str
+    spec: ScenarioSpec
+    scheme: SchemeConfig
+    run_index: int
+    seed: int
+    step_s: float
+    sample_interval_s: float
+    digest: str
+
+
+def run_metrics(result: SimulationResult, duration_s: float) -> Dict[str, float]:
+    """The scalar metrics a sweep stores and aggregates for one run."""
+    if duration_s > PEAK_WINDOW[1]:
+        peak = PEAK_WINDOW
+    else:
+        peak = (0.0, duration_s)
+    return {
+        "mean_savings_percent": 100.0 * result.mean_savings(),
+        "peak_savings_percent": 100.0 * result.mean_savings(*peak),
+        "mean_online_gateways": result.mean_online_gateways(),
+        "peak_online_gateways": result.mean_online_gateways(*peak),
+        "mean_online_line_cards": result.mean_online_line_cards(),
+        "isp_share_of_savings_percent": 100.0 * result.mean_isp_share_of_savings(),
+    }
+
+
+def expand_tasks(
+    families: Sequence[ScenarioFamily],
+    schemes: Sequence[SchemeConfig],
+    config: SweepConfig,
+) -> List[SweepTask]:
+    """The full grid in deterministic (family, spec, scheme, run) order."""
+    tasks: List[SweepTask] = []
+    for family_ in families:
+        for spec in family_.expand():
+            for scheme in schemes:
+                for run_index in range(config.runs_per_scheme):
+                    seed = scheme_run_seed(spec.seed, run_index, scheme.name)
+                    tasks.append(SweepTask(
+                        family=family_.name,
+                        spec=spec,
+                        scheme=scheme,
+                        run_index=run_index,
+                        seed=seed,
+                        step_s=config.step_s,
+                        sample_interval_s=config.sample_interval_s,
+                        digest=run_digest(
+                            spec, scheme, seed, config.step_s, config.sample_interval_s
+                        ),
+                    ))
+    return tasks
+
+
+#: Per-process scenario cache: building a spec's trace dominates task
+#: startup, and many (scheme, repetition) tasks share one spec.
+_SCENARIO_CACHE: dict = {}
+
+
+def _execute_task(task: SweepTask) -> RunRecord:
+    """Run one grid cell (top-level so multiprocessing can pickle it)."""
+    scenario = _SCENARIO_CACHE.get(task.spec)
+    if scenario is None:
+        scenario = task.spec.build()
+        _SCENARIO_CACHE.clear()
+        _SCENARIO_CACHE[task.spec] = scenario
+    result = run_scheme(
+        scenario,
+        task.scheme,
+        seed=task.seed,
+        step_s=task.step_s,
+        sample_interval_s=task.sample_interval_s,
+    )
+    return RunRecord(
+        digest=task.digest,
+        family=task.family,
+        label=task.spec.label,
+        scheme=task.scheme.name,
+        run_index=task.run_index,
+        seed=task.seed,
+        duration_s=task.spec.duration_s,
+        metrics=run_metrics(result, task.spec.duration_s),
+    )
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a sweep: every task's record plus cache accounting."""
+
+    tasks: List[SweepTask]
+    records: Dict[str, RunRecord]
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def total_runs(self) -> int:
+        """Number of grid cells in the sweep."""
+        return len(self.tasks)
+
+    @property
+    def cache_hit_fraction(self) -> float:
+        """Fraction of the grid served from the result store."""
+        return self.cache_hits / len(self.tasks) if self.tasks else 0.0
+
+    def record_for(self, task: SweepTask) -> RunRecord:
+        """The stored record backing one grid cell."""
+        return self.records[task.digest]
+
+    def aggregates(self) -> List[Dict[str, object]]:
+        """Per (family, scenario, scheme) means over repetitions.
+
+        Rows keep grid order; metric means are computed with a fixed
+        summation order over run-index-ordered records, so they are
+        bit-identical across serial, parallel and resumed executions.
+        """
+        groups: Dict[Tuple[str, str, str], List[RunRecord]] = {}
+        order: List[Tuple[str, str, str]] = []
+        for task in self.tasks:
+            key = (task.family, task.spec.label, task.scheme.name)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(self.records[task.digest])
+        rows: List[Dict[str, object]] = []
+        for key in order:
+            records = sorted(groups[key], key=lambda r: r.run_index)
+            metric_names = list(records[0].metrics)
+            means = {
+                name: sum(r.metrics[name] for r in records) / len(records)
+                for name in metric_names
+            }
+            rows.append({
+                "family": key[0],
+                "scenario": key[1],
+                "scheme": key[2],
+                "runs": len(records),
+                **means,
+            })
+        return rows
+
+
+def run_sweep(
+    family_names: Optional[Sequence[str]] = None,
+    schemes: Optional[Sequence[SchemeConfig]] = None,
+    config: Optional[SweepConfig] = None,
+    store: Optional[ResultStore] = None,
+    workers: Optional[int] = None,
+    use_cache: bool = True,
+    families: Optional[Sequence[ScenarioFamily]] = None,
+) -> SweepResult:
+    """Run (or resume) a sweep over the given scenario families.
+
+    ``family_names`` selects registered families (all of them when
+    omitted); ``families`` bypasses the registry with explicit family
+    objects.  With a ``store``, cached runs are served from disk and
+    fresh runs are persisted as they complete; ``use_cache=False`` forces
+    recomputation (results still overwrite the store).
+    """
+    if workers is not None and workers <= 0:
+        raise ValueError("workers must be positive")
+    config = config or SweepConfig()
+    resolved = list(families) if families is not None else resolve_families(family_names)
+    # Selecting the same family twice is a no-op, not a doubled grid.
+    unique: List[ScenarioFamily] = []
+    seen_names = set()
+    for family_ in resolved:
+        if family_.name not in seen_names:
+            seen_names.add(family_.name)
+            unique.append(family_)
+    resolved = unique
+    if not resolved:
+        raise ValueError("no scenario families selected")
+    # Same for schemes: a repeated name must not inflate the grid.
+    scheme_list = list(schemes) if schemes is not None else standard_schemes()
+    unique_schemes: List[SchemeConfig] = []
+    seen_schemes = set()
+    for scheme in scheme_list:
+        if scheme.name not in seen_schemes:
+            seen_schemes.add(scheme.name)
+            unique_schemes.append(scheme)
+    tasks = expand_tasks(resolved, unique_schemes, config)
+
+    records: Dict[str, RunRecord] = {}
+    pending: List[SweepTask] = []
+    seen_digests = set()
+    for task in tasks:
+        if task.digest in seen_digests or task.digest in records:
+            continue
+        cached = store.get(task.digest) if (store is not None and use_cache) else None
+        if cached is not None:
+            records[task.digest] = cached
+        else:
+            seen_digests.add(task.digest)
+            pending.append(task)
+
+    executed = len(pending)
+    if pending:
+        workers = workers or 1
+        workers = max(1, min(workers, len(pending)))
+        if workers == 1:
+            try:
+                for task in pending:
+                    record = _execute_task(task)
+                    if store is not None:
+                        store.put(record)
+                    records[record.digest] = record
+            finally:
+                # The serial path ran in this process: don't pin the last
+                # scenario (and its trace) for the process lifetime.
+                _SCENARIO_CACHE.clear()
+        else:
+            # Group each spec's tasks contiguously so the chunked map
+            # keeps a worker's per-process scenario cache warm.
+            with multiprocessing.Pool(processes=workers) as pool:
+                for record in pool.imap_unordered(
+                    _execute_task, pending, chunksize=max(1, len(pending) // (4 * workers))
+                ):
+                    if store is not None:
+                        store.put(record)
+                    records[record.digest] = record
+
+    # Every grid cell that did not need a fresh run counts as a hit,
+    # including duplicates reached through two families.
+    cache_hits = len(tasks) - executed
+    return SweepResult(tasks=tasks, records=records, cache_hits=cache_hits, executed=executed)

@@ -1,0 +1,101 @@
+"""Cross-scenario report tables for sweep results.
+
+Renders the per-family savings/online-gateway aggregates through the
+plain-text tables of :mod:`repro.analysis.report`, plus a compact
+family × scheme overview and a JSON export for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis import report
+from repro.sweep.engine import SweepResult
+
+#: Aggregate columns shown in the per-family tables, in order.
+TABLE_METRICS = (
+    ("mean_savings_percent", "savings %"),
+    ("peak_savings_percent", "peak savings %"),
+    ("mean_online_gateways", "online gw"),
+    ("peak_online_gateways", "peak online gw"),
+    ("mean_online_line_cards", "online cards"),
+)
+
+
+def family_tables(result: SweepResult) -> Dict[str, str]:
+    """One rendered table per family: scenario × scheme aggregate rows."""
+    rows_by_family: Dict[str, List[List[object]]] = {}
+    for row in result.aggregates():
+        rows_by_family.setdefault(str(row["family"]), []).append(
+            [row["scenario"], row["scheme"], row["runs"]]
+            + [row[key] for key, _header in TABLE_METRICS]
+        )
+    headers = ["scenario", "scheme", "runs"] + [header for _key, header in TABLE_METRICS]
+    return {
+        family: report.format_table(headers, rows)
+        for family, rows in rows_by_family.items()
+    }
+
+
+def overview_table(result: SweepResult) -> str:
+    """Family × scheme overview: savings (vs. the always-on power baseline)
+    averaged over a family's scenarios."""
+    groups: Dict[tuple, List[float]] = {}
+    order: List[tuple] = []
+    for row in result.aggregates():
+        key = (str(row["family"]), str(row["scheme"]))
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(float(row["mean_savings_percent"]))
+    rows = [
+        [family, scheme, len(groups[(family, scheme)]),
+         sum(groups[(family, scheme)]) / len(groups[(family, scheme)])]
+        for family, scheme in order
+    ]
+    return report.format_table(["family", "scheme", "scenarios", "mean savings %"], rows)
+
+
+def render_sweep(result: SweepResult) -> str:
+    """The full plain-text sweep report."""
+    blocks: List[str] = []
+    for family, table in family_tables(result).items():
+        blocks.append(f"== {family} ==")
+        blocks.append(table)
+        blocks.append("")
+    blocks.append("== cross-family overview (savings vs. always-on baseline) ==")
+    blocks.append(overview_table(result))
+    blocks.append("")
+    blocks.append(report.render_key_values({
+        "grid_runs": result.total_runs,
+        "executed": result.executed,
+        "cache_hits": result.cache_hits,
+        "cache_hit_percent": 100.0 * result.cache_hit_fraction,
+    }, title="Sweep accounting"))
+    return "\n".join(blocks)
+
+
+def sweep_to_json(result: SweepResult) -> str:
+    """JSON export: aggregates, per-run records and cache accounting."""
+    payload = {
+        "aggregates": result.aggregates(),
+        "runs": [
+            {
+                "digest": task.digest,
+                "family": task.family,
+                "scenario": task.spec.label,
+                "scheme": task.scheme.name,
+                "run_index": task.run_index,
+                "seed": task.seed,
+                "metrics": result.record_for(task).metrics,
+            }
+            for task in result.tasks
+        ],
+        "accounting": {
+            "grid_runs": result.total_runs,
+            "executed": result.executed,
+            "cache_hits": result.cache_hits,
+        },
+    }
+    return json.dumps(payload, indent=1, sort_keys=True)

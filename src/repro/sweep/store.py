@@ -1,0 +1,155 @@
+"""Content-addressed on-disk result store for sweep runs.
+
+Every run of the sweep grid is identified by a SHA-256 digest of its
+*code-relevant* inputs: the physical scenario parameters, the complete
+scheme configuration, the per-run seed, the step size, the sampling
+interval and a store schema version.  Records live one-per-file under
+``<root>/runs/<digest>.json`` and are written atomically (temp file +
+``os.replace``), so a sweep killed mid-run leaves only complete records
+behind and a re-invocation resumes exactly where it stopped.
+
+JSON float serialisation uses Python's shortest-repr round-trip, so the
+metrics a resumed sweep reads back are bit-identical to the ones the
+original run computed — aggregates over cached and freshly-computed
+records cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+#: Bump when the meaning of stored metrics (or anything the digest does
+#: not capture) changes; old records then simply stop matching.
+STORE_VERSION = 1
+
+
+def canonicalize(obj: object) -> object:
+    """Reduce dataclasses/enums/tuples to plain JSON-stable structures."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: canonicalize(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, dict):
+        return {str(key): canonicalize(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(item) for item in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for digesting")
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace)."""
+    return json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))
+
+
+def run_digest(
+    spec,
+    scheme,
+    seed: int,
+    step_s: float,
+    sample_interval_s: float,
+) -> str:
+    """Stable content digest of one (scenario, scheme, seed) run."""
+    payload = {
+        "store_version": STORE_VERSION,
+        "scenario": spec.canonical(),
+        "scheme": canonicalize(scheme),
+        "seed": seed,
+        "step_s": step_s,
+        "sample_interval_s": sample_interval_s,
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RunRecord:
+    """The stored outcome of one run: scalar metrics plus provenance."""
+
+    digest: str
+    family: str
+    label: str
+    scheme: str
+    run_index: int
+    seed: int
+    duration_s: float
+    metrics: Dict[str, float] = field(default_factory=dict)
+    store_version: int = STORE_VERSION
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecord":
+        payload = json.loads(text)
+        return cls(**payload)
+
+
+class ResultStore:
+    """Filesystem-backed content-addressed store of :class:`RunRecord`.
+
+    ``get`` treats missing, truncated or schema-mismatched files as cache
+    misses, so a store survives crashes and version bumps without manual
+    cleanup.
+    """
+
+    def __init__(self, root: os.PathLike | str):
+        self.root = Path(root)
+        self.runs_dir = self.root / "runs"
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, digest: str) -> Path:
+        """Where the record for a digest lives."""
+        return self.runs_dir / f"{digest}.json"
+
+    def get(self, digest: str) -> Optional[RunRecord]:
+        """The stored record for a digest, or None on any kind of miss."""
+        path = self.path_for(digest)
+        try:
+            record = RunRecord.from_json(path.read_text())
+        except (OSError, ValueError, TypeError):
+            return None
+        if record.digest != digest or record.store_version != STORE_VERSION:
+            return None
+        return record
+
+    def put(self, record: RunRecord) -> Path:
+        """Atomically persist a record (visible fully written or not at all)."""
+        path = self.path_for(record.digest)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.runs_dir, prefix=f".{record.digest[:12]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(record.to_json())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def digests(self) -> List[str]:
+        """Digests of every complete record currently in the store."""
+        return sorted(path.stem for path in self.runs_dir.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.digests())
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        for digest in self.digests():
+            record = self.get(digest)
+            if record is not None:
+                yield record

@@ -182,12 +182,15 @@ def build_default_scenario(
     dslam: Optional[DslamConfig] = None,
     trace: Optional[WirelessTrace] = None,
     density_override: Optional[float] = None,
+    wireless: Optional[WirelessParameters] = None,
     **trace_overrides,
 ) -> Scenario:
     """The default evaluation scenario of Sec. 5.1.
 
     ``density_override`` switches the topology to the binomial connectivity
-    model of Fig. 10 with the given mean number of available gateways.
+    model of Fig. 10 with the given mean number of available gateways;
+    ``wireless`` overrides the capacity mix (the scenario-catalog families
+    use it for backhaul sensitivity).
     """
     if trace is None:
         config = SyntheticTraceConfig(
@@ -212,6 +215,7 @@ def build_default_scenario(
     return Scenario(
         trace=trace,
         topology=topology,
+        wireless=wireless or WirelessParameters(),
         dslam=dslam or DslamConfig(),
         seed=seed,
     )

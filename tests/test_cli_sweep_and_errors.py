@@ -1,0 +1,117 @@
+"""CLI error paths, the sweep subcommand, and cross-process seeding."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.simulation.runner import scheme_run_seed
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+# ----------------------------------------------------------------------
+# Error paths
+# ----------------------------------------------------------------------
+def test_simulate_unknown_scheme_exits_2_with_message(capsys):
+    code = main(["simulate", "--clients", "6", "--gateways", "3", "--hours", "0.2",
+                 "--schemes", "does-not-exist"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown scheme" in err
+    assert "known schemes:" in err
+
+
+def test_sweep_unknown_family_exits_2_with_message(capsys):
+    code = main(["sweep", "--family", "does-not-exist"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown scenario family" in err
+    assert "paper-default" in err
+
+
+def test_sweep_unknown_scheme_exits_2_with_message(capsys):
+    code = main(["sweep", "--family", "smoke", "--schemes", "does-not-exist"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown scheme" in err
+
+
+@pytest.mark.parametrize("argv, flag", [
+    (["sweep", "--family", "smoke", "--runs", "0"], "--runs"),
+    (["sweep", "--family", "smoke", "--step", "0"], "--step"),
+    (["sweep", "--family", "smoke", "--sample", "-1"], "--sample"),
+    (["sweep", "--family", "smoke", "--workers", "0"], "--workers"),
+])
+def test_sweep_invalid_numeric_flags_exit_2(capsys, argv, flag):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert flag in err and "must be positive" in err
+
+
+def test_unknown_command_is_an_argparse_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["frobnicate"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# The sweep subcommand
+# ----------------------------------------------------------------------
+def test_sweep_list_families(capsys):
+    assert main(["sweep", "--list-families"]) == 0
+    out = capsys.readouterr().out
+    for name in ["paper-default", "dense-urban", "sparse-rural", "diurnal-office",
+                 "flash-crowd", "backhaul-sensitivity", "smoke"]:
+        assert name in out
+
+
+def test_sweep_smoke_family_end_to_end(tmp_path, capsys):
+    out_dir = str(tmp_path / "store")
+    args = ["sweep", "--family", "smoke", "--step", "10", "--out", out_dir,
+            "--schemes", "no-sleep,SoI"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "== smoke ==" in first
+    assert "cache_hit_percent : 0.000" in first
+    # Second invocation: everything served from the result store.
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "cache_hit_percent : 100.000" in second
+    assert "executed          : 0" in second
+
+
+def test_sweep_json_output(tmp_path, capsys):
+    out_dir = str(tmp_path / "store")
+    assert main(["sweep", "--family", "smoke", "--step", "10", "--out", out_dir,
+                 "--schemes", "SoI", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["accounting"]["grid_runs"] == 1
+    assert payload["aggregates"][0]["family"] == "smoke"
+    assert "mean_savings_percent" in payload["runs"][0]["metrics"]
+
+
+# ----------------------------------------------------------------------
+# Seeding is deterministic across interpreter processes
+# ----------------------------------------------------------------------
+def test_scheme_run_seed_is_identical_across_processes():
+    triples = [(0, 0, "SoI"), (2011, 3, "BH2+k-switch"), (7, 9, "no-sleep")]
+    expected = [scheme_run_seed(*t) for t in triples]
+    script = (
+        "import json, sys\n"
+        "from repro.simulation.runner import scheme_run_seed\n"
+        "triples = json.loads(sys.argv[1])\n"
+        "print(json.dumps([scheme_run_seed(b, r, s) for b, r, s in triples]))\n"
+    )
+    for hash_seed in ("0", "1", "random"):
+        env = dict(os.environ, PYTHONPATH=SRC, PYTHONHASHSEED=hash_seed)
+        output = subprocess.run(
+            [sys.executable, "-c", script, json.dumps(triples)],
+            env=env, capture_output=True, text=True, check=True,
+        ).stdout
+        assert json.loads(output) == expected

@@ -1,0 +1,109 @@
+"""Tests for the scenario catalog: registry, grid expansion, spec building."""
+
+import pytest
+
+from repro.sweep.catalog import (
+    DIURNAL_PROFILES,
+    FAMILIES,
+    ScenarioFamily,
+    ScenarioSpec,
+    family,
+    family_names,
+    resolve_families,
+)
+
+
+def test_registry_has_the_documented_families():
+    names = family_names()
+    for expected in [
+        "paper-default",
+        "dense-urban",
+        "sparse-rural",
+        "diurnal-office",
+        "flash-crowd",
+        "backhaul-sensitivity",
+        "smoke",
+    ]:
+        assert expected in names
+    assert len(names) >= 6
+
+
+def test_grid_expansion_counts_and_labels():
+    assert len(family("paper-default").expand()) == 1
+    assert len(family("dense-urban").expand()) == 2
+    assert len(family("backhaul-sensitivity").expand()) == 6
+    labels = [spec.label for fam in FAMILIES.values() for spec in fam.expand()]
+    assert len(labels) == len(set(labels)), "scenario labels must be unique"
+
+
+def test_expanded_specs_carry_grid_values():
+    specs = family("backhaul-sensitivity").expand()
+    assert sorted({spec.backhaul_scale for spec in specs}) == [0.5, 1.0, 2.0]
+    assert sorted({spec.mean_networks_in_range for spec in specs}) == [3.0, 5.6]
+    assert all("backhaul_scale=" in spec.label for spec in specs)
+
+
+def test_smoke_spec_builds_a_consistent_scenario():
+    spec = family("smoke").expand()[0]
+    scenario = spec.build()
+    assert scenario.num_clients == spec.num_clients
+    assert scenario.num_gateways == spec.num_gateways
+    assert scenario.trace.duration == spec.duration_s
+
+
+def test_backhaul_scale_and_profile_reach_the_scenario():
+    spec = ScenarioSpec(
+        label="t", num_clients=6, num_gateways=3, duration_s=600.0, seed=3,
+        backhaul_scale=0.5, profile="office",
+    )
+    scenario = spec.build()
+    assert scenario.wireless.backhaul_bps == pytest.approx(3e6)
+
+
+def test_diurnal_profiles_are_well_formed():
+    for name, profile in DIURNAL_PROFILES.items():
+        if profile is None:
+            continue
+        assert len(profile) == 24, name
+        assert max(profile) == pytest.approx(1.0), name
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="profile"):
+        ScenarioSpec(profile="nope")
+    with pytest.raises(ValueError, match="backhaul_scale"):
+        ScenarioSpec(backhaul_scale=0.0)
+    with pytest.raises(ValueError, match="port"):
+        ScenarioSpec(num_gateways=49)
+
+
+def test_family_grid_validation():
+    base = ScenarioSpec(num_clients=6, num_gateways=3)
+    with pytest.raises(ValueError, match="not a ScenarioSpec field"):
+        ScenarioFamily(name="x", description="", base=base, grid=(("nope", (1,)),))
+    with pytest.raises(ValueError, match="no values"):
+        ScenarioFamily(name="x", description="", base=base, grid=(("density", ()),))
+
+
+def test_unknown_family_lookup():
+    with pytest.raises(KeyError, match="known families"):
+        family("does-not-exist")
+    assert [f.name for f in resolve_families(["smoke"])] == ["smoke"]
+
+
+def test_canonical_inlines_profile_weights_not_the_name():
+    office = ScenarioSpec(label="x", num_clients=6, num_gateways=3, profile="office")
+    canon = office.canonical()
+    assert "profile" not in canon
+    assert canon["diurnal_profile"] == list(DIURNAL_PROFILES["office"])
+    default = ScenarioSpec(label="x", num_clients=6, num_gateways=3)
+    assert default.canonical()["diurnal_profile"] is None
+    assert canon != default.canonical()
+
+
+def test_canonical_excludes_label_only():
+    a = ScenarioSpec(label="one", num_clients=6, num_gateways=3)
+    b = ScenarioSpec(label="two", num_clients=6, num_gateways=3)
+    assert a.canonical() == b.canonical()
+    c = ScenarioSpec(label="one", num_clients=7, num_gateways=3)
+    assert a.canonical() != c.canonical()

@@ -1,0 +1,109 @@
+"""Sweep engine tests: determinism, caching, crash-safe resume."""
+
+import pytest
+
+from repro.core.schemes import no_sleep, soi
+from repro.sweep.catalog import ScenarioFamily, ScenarioSpec
+from repro.sweep.engine import SweepConfig, expand_tasks, run_sweep
+from repro.sweep.store import ResultStore
+from repro.simulation.runner import scheme_run_seed
+
+TINY = ScenarioFamily(
+    name="tiny",
+    description="test family",
+    base=ScenarioSpec(label="tiny", num_clients=6, num_gateways=3, duration_s=900.0, seed=3),
+    grid=(("density", (1.5, 2.5)),),
+)
+SCHEMES = [no_sleep(), soi()]
+CONFIG = SweepConfig(runs_per_scheme=2, step_s=5.0, sample_interval_s=60.0)
+
+
+def test_expand_tasks_grid_shape_and_seeding():
+    tasks = expand_tasks([TINY], SCHEMES, CONFIG)
+    assert len(tasks) == 2 * 2 * 2  # scenarios x schemes x repetitions
+    assert len({t.digest for t in tasks}) == len(tasks)
+    for task in tasks:
+        assert task.seed == scheme_run_seed(task.spec.seed, task.run_index, task.scheme.name)
+
+
+def test_serial_and_parallel_aggregates_are_bit_identical():
+    serial = run_sweep(families=[TINY], schemes=SCHEMES, config=CONFIG)
+    parallel = run_sweep(families=[TINY], schemes=SCHEMES, config=CONFIG, workers=2)
+    assert serial.aggregates() == parallel.aggregates()
+    assert serial.executed == parallel.executed == 8
+
+
+def test_second_invocation_is_served_from_cache(tmp_path):
+    store = ResultStore(tmp_path)
+    first = run_sweep(families=[TINY], schemes=SCHEMES, config=CONFIG, store=store)
+    assert first.executed == 8 and first.cache_hits == 0
+    second = run_sweep(families=[TINY], schemes=SCHEMES, config=CONFIG, store=store)
+    assert second.executed == 0
+    assert second.cache_hit_fraction == 1.0
+    assert second.aggregates() == first.aggregates()
+
+
+def test_interrupted_sweep_resumes_to_identical_aggregates(tmp_path):
+    reference = run_sweep(families=[TINY], schemes=SCHEMES, config=CONFIG)
+
+    store = ResultStore(tmp_path)
+    full = run_sweep(families=[TINY], schemes=SCHEMES, config=CONFIG, store=store)
+    # Simulate a sweep killed mid-run: some records never made it to disk.
+    lost = full.tasks[1].digest, full.tasks[5].digest
+    for digest in lost:
+        store.path_for(digest).unlink()
+    resumed = run_sweep(families=[TINY], schemes=SCHEMES, config=CONFIG, store=store, workers=2)
+    assert resumed.executed == len(lost)
+    assert resumed.cache_hits == 8 - len(lost)
+    assert resumed.aggregates() == reference.aggregates()
+
+
+def test_no_resume_recomputes_but_matches(tmp_path):
+    store = ResultStore(tmp_path)
+    first = run_sweep(families=[TINY], schemes=SCHEMES, config=CONFIG, store=store)
+    fresh = run_sweep(
+        families=[TINY], schemes=SCHEMES, config=CONFIG, store=store, use_cache=False
+    )
+    assert fresh.executed == 8
+    assert fresh.aggregates() == first.aggregates()
+
+
+def test_duplicate_physical_scenarios_run_once():
+    alias = ScenarioFamily(name="alias", description="same physics", base=TINY.base, grid=TINY.grid)
+    config = SweepConfig(runs_per_scheme=1, step_s=5.0)
+    result = run_sweep(families=[TINY, alias], schemes=[no_sleep()], config=config)
+    assert result.total_runs == 4  # both families appear in the grid...
+    assert result.executed == 2    # ...but each physical run happens once
+    rows = result.aggregates()
+    tiny_rows = [r for r in rows if r["family"] == "tiny"]
+    alias_rows = [r for r in rows if r["family"] == "alias"]
+    assert [r["mean_savings_percent"] for r in tiny_rows] == \
+        [r["mean_savings_percent"] for r in alias_rows]
+
+
+def test_repeated_family_selection_is_a_noop():
+    config = SweepConfig(runs_per_scheme=1, step_s=5.0)
+    once = run_sweep(families=[TINY], schemes=[no_sleep()], config=config)
+    twice = run_sweep(families=[TINY, TINY], schemes=[no_sleep()], config=config)
+    assert twice.total_runs == once.total_runs == 2
+    assert twice.aggregates() == once.aggregates()
+
+
+def test_repeated_scheme_selection_is_a_noop():
+    config = SweepConfig(runs_per_scheme=1, step_s=5.0)
+    once = run_sweep(families=[TINY], schemes=[no_sleep()], config=config)
+    twice = run_sweep(families=[TINY], schemes=[no_sleep(), no_sleep()], config=config)
+    assert twice.total_runs == once.total_runs == 2
+    assert twice.executed == once.executed == 2
+    assert twice.aggregates() == once.aggregates()
+
+
+def test_run_sweep_validation(tmp_path):
+    with pytest.raises(ValueError, match="workers"):
+        run_sweep(families=[TINY], schemes=SCHEMES, config=CONFIG, workers=0)
+    with pytest.raises(ValueError, match="families"):
+        run_sweep(families=[], schemes=SCHEMES, config=CONFIG)
+    with pytest.raises(KeyError, match="known families"):
+        run_sweep(family_names=["nope"], schemes=SCHEMES, config=CONFIG)
+    with pytest.raises(ValueError, match="runs_per_scheme"):
+        SweepConfig(runs_per_scheme=0)
