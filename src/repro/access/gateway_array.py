@@ -65,7 +65,21 @@ class GatewayArray:
         load_window_s: float = 60.0,
         initially_sleeping: bool = True,
         track_load: bool = True,
+        power_w: Optional[Tuple[Sequence[float], Sequence[float], Sequence[float]]] = None,
+        wake_time_s: Optional[Sequence[float]] = None,
+        generation: Optional[Sequence[int]] = None,
+        num_generations: int = 1,
+        out_of_service: Container[int] | Iterable[int] = (),
     ):
+        """``power_w`` (heterogeneous fleets) holds per-gateway
+        ``(active_w, sleep_w, wake_w)`` arrays consumed by
+        :meth:`power_snapshot`; ``wake_time_s`` gives per-gateway wake
+        durations overriding the scalar ``soi.wake_up_time_s``;
+        ``generation`` maps each gateway to one of ``num_generations``
+        fleet generations for the per-generation energy split.
+        ``out_of_service`` gateways start absent (sleeping, unpowered,
+        refusing wake requests) until :meth:`set_in_service` flips them.
+        """
         if num_gateways <= 0:
             raise ValueError("num_gateways must be positive")
         if backhaul_bps <= 0:
@@ -81,7 +95,45 @@ class GatewayArray:
 
         initial = STATE_SLEEPING if sleep_enabled and initially_sleeping else STATE_ACTIVE
         n = num_gateways
-        self.state: List[int] = [initial] * n
+
+        # --- fleet heterogeneity (optional) ----------------------------
+        self.heterogeneous = power_w is not None
+        if self.heterogeneous:
+            active_w, sleep_w, wake_w = power_w
+            if not (len(active_w) == len(sleep_w) == len(wake_w) == n):
+                raise ValueError("power_w arrays must have one entry per gateway")
+            self.active_w: List[float] = list(active_w)
+            self.sleep_w: List[float] = list(sleep_w)
+            self.wake_w: List[float] = list(wake_w)
+        if wake_time_s is not None and len(wake_time_s) != n:
+            raise ValueError("wake_time_s must have one entry per gateway")
+        self._wake_time_s: Optional[List[float]] = (
+            list(wake_time_s) if wake_time_s is not None else None
+        )
+        if generation is not None and len(generation) != n:
+            raise ValueError("generation must have one entry per gateway")
+        self._generation: List[int] = list(generation) if generation is not None else [0] * n
+        if num_generations <= 0 or any(
+            not 0 <= g < num_generations for g in self._generation
+        ):
+            raise ValueError("generation indices must lie in [0, num_generations)")
+        self._num_generations = num_generations
+        self._snapshot_version = -1
+        self._snapshot: Tuple[Tuple[float, ...], ...] = ()
+
+        # --- service membership (churn) --------------------------------
+        self.in_service: List[bool] = [True] * n
+        for gateway_id in out_of_service:
+            if not 0 <= gateway_id < n:
+                raise ValueError(
+                    f"out_of_service gateway {gateway_id} is not in [0, {n})"
+                )
+            self.in_service[gateway_id] = False
+        self.in_service_count = sum(self.in_service)
+
+        self.state: List[int] = [
+            initial if self.in_service[g] else STATE_SLEEPING for g in range(n)
+        ]
         self.last_traffic_at: List[float] = [0.0] * n
         self.online_seconds: List[float] = [0.0] * n
         self.waking_seconds: List[float] = [0.0] * n
@@ -93,7 +145,7 @@ class GatewayArray:
         #: (online sets, DSLAM wiring, device counts) against it.
         self.version = 0
 
-        self.active_count = n if initial == STATE_ACTIVE else 0
+        self.active_count = self.state.count(STATE_ACTIVE)
         self.waking_count = 0
 
         # Lazy state-duration accrual: time each gateway entered its state.
@@ -159,14 +211,72 @@ class GatewayArray:
         self.version += 1
 
     def request_wake(self, gateway_id: int, now: float) -> None:
-        """Ask a sleeping gateway to power on; waking/active ones ignore it."""
-        if self.state[gateway_id] == STATE_SLEEPING:
+        """Ask a sleeping gateway to power on; waking/active ones ignore it.
+
+        Out-of-service gateways (decommissioned, failed, or not yet
+        deployed) also ignore wake requests.
+        """
+        if self.state[gateway_id] == STATE_SLEEPING and self.in_service[gateway_id]:
             self._change_state(gateway_id, STATE_WAKING, now)
-            deadline = now + self.soi.wake_up_time_s
+            wake_times = self._wake_time_s
+            deadline = now + (
+                wake_times[gateway_id] if wake_times is not None else self.soi.wake_up_time_s
+            )
             self._wake_deadline[gateway_id] = deadline
             if deadline < self._min_wake_deadline:
                 self._min_wake_deadline = deadline
             self.wake_count[gateway_id] += 1
+
+    def force_sleep(self, gateway_id: int, now: float) -> None:
+        """Put a gateway to sleep immediately, whatever it is doing.
+
+        Used by churn events (failures, decommissioning): a pending wake is
+        cancelled and the sliding-window traffic samples are cleared, just
+        as an idle-timeout sleep would.
+        """
+        state = self.state[gateway_id]
+        if state == STATE_SLEEPING:
+            return
+        if state == STATE_WAKING and gateway_id in self._wake_deadline:
+            del self._wake_deadline[gateway_id]
+            self._min_wake_deadline = (
+                min(self._wake_deadline.values()) if self._wake_deadline else inf
+            )
+        self._change_state(gateway_id, STATE_SLEEPING, now)
+        self.sleep_count[gateway_id] += 1
+        if self.track_load:
+            self._sample_times[gateway_id].clear()
+            self._sample_bits[gateway_id].clear()
+            self._sample_head[gateway_id] = 0
+            self._util_cache[gateway_id] = (0, 0, 0.0)
+
+    def set_in_service(
+        self, gateway_id: int, flag: bool, now: float, activate: bool = False
+    ) -> None:
+        """Flip a gateway's service membership at instant ``now``.
+
+        Going out of service force-sleeps the device (it is unplugged: it
+        draws nothing and refuses wake requests).  Coming back,
+        ``activate=True`` powers it straight to ACTIVE (always-on schemes);
+        otherwise it stays asleep, ready to wake on demand.
+        """
+        if self.in_service[gateway_id] == flag:
+            return
+        if flag:
+            self.in_service[gateway_id] = True
+            self.in_service_count += 1
+            self.last_traffic_at[gateway_id] = now
+            if activate and self.state[gateway_id] != STATE_ACTIVE:
+                self._change_state(gateway_id, STATE_ACTIVE, now)
+            else:
+                # No state change, but power/DSLAM caches keyed on the
+                # version must notice the membership flip.
+                self.version += 1
+        else:
+            self.in_service[gateway_id] = False
+            self.in_service_count -= 1
+            self.force_sleep(gateway_id, now)
+            self.version += 1
 
     def touch(self, gateway_id: int, now: float) -> None:
         """Mark traffic presence without volume (e.g. a pending arrival)."""
@@ -331,6 +441,38 @@ class GatewayArray:
                     next_check = deadline
             self._sleep_check_at = next_check
         return changed
+
+    def power_snapshot(self) -> Tuple[Tuple[float, ...], ...]:
+        """Per-generation ``(active_w, waking_w, sleeping_w)`` power sums.
+
+        Heterogeneous fleets only.  Recomputed with a fixed summation order
+        when the version changed (so equal versions return the *same*
+        object) and cached otherwise; out-of-service gateways contribute
+        nothing — an unplugged device has no standby draw.
+        """
+        if not self.heterogeneous:
+            raise RuntimeError("power_snapshot needs per-gateway power arrays")
+        if self._snapshot_version == self.version:
+            return self._snapshot
+        num_generations = self._num_generations
+        active = [0.0] * num_generations
+        waking = [0.0] * num_generations
+        sleeping = [0.0] * num_generations
+        state = self.state
+        generation = self._generation
+        in_service = self.in_service
+        for gateway_id in range(self.num_gateways):
+            code = state[gateway_id]
+            bucket = generation[gateway_id]
+            if code == STATE_ACTIVE:
+                active[bucket] += self.active_w[gateway_id]
+            elif code == STATE_WAKING:
+                waking[bucket] += self.wake_w[gateway_id]
+            elif in_service[gateway_id]:
+                sleeping[bucket] += self.sleep_w[gateway_id]
+        self._snapshot = (tuple(active), tuple(waking), tuple(sleeping))
+        self._snapshot_version = self.version
+        return self._snapshot
 
     def min_transition_after(self) -> float:
         """Conservative earliest instant any state machine may change state.

@@ -6,6 +6,7 @@ Commands
 ``trace``      generate a synthetic trace and print its aggregate statistics
 ``simulate``   run the scheme comparison and print the savings summary
 ``sweep``      run the scenario-catalog sweep (cached, resumable)
+``fleet``      inspect gateway generations, fleet mixes and churn patterns
 ``figure``     regenerate the data behind one of the paper's figures
 ``crosstalk``  run the Fig. 14 crosstalk speedup experiment
 ``testbed``    run the Fig. 12 testbed replay
@@ -115,6 +116,28 @@ def _add_sweep_parser(subparsers) -> None:
                         help="print the sweep result as JSON instead of tables")
 
 
+def _add_fleet_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fleet",
+        help="inspect gateway generations, fleet mixes and churn patterns",
+        description="List the registered gateway hardware generations, the "
+        "named fleet mixes selectable via the mixed-fleet scenario family, "
+        "and the named churn patterns; --churn previews the concrete event "
+        "timeline a pattern produces for a given deployment.",
+    )
+    parser.add_argument(
+        "--churn",
+        type=str,
+        default=None,
+        metavar="PATTERN",
+        help="preview the materialised timeline of a churn pattern",
+    )
+    parser.add_argument("--gateways", type=int, default=20)
+    parser.add_argument("--clients", type=int, default=136)
+    parser.add_argument("--hours", type=float, default=24.0)
+    parser.add_argument("--seed", type=int, default=2081)
+
+
 def _add_figure_parser(subparsers) -> None:
     parser = subparsers.add_parser("figure", help="regenerate the data behind a figure")
     parser.add_argument(
@@ -146,6 +169,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_parser(subparsers)
     _add_simulate_parser(subparsers)
     _add_sweep_parser(subparsers)
+    _add_fleet_parser(subparsers)
     _add_figure_parser(subparsers)
     _add_crosstalk_parser(subparsers)
     _add_testbed_parser(subparsers)
@@ -266,6 +290,74 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    from repro.fleet import (
+        CHURN_PATTERNS,
+        FLEETS,
+        GENERATIONS,
+        build_churn,
+        churn_pattern_names,
+    )
+
+    if args.churn is not None:
+        if args.churn not in CHURN_PATTERNS:
+            print(
+                f"unknown churn pattern '{args.churn}'; known patterns: "
+                f"{', '.join(churn_pattern_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        timeline = build_churn(
+            args.churn,
+            num_gateways=args.gateways,
+            num_clients=args.clients,
+            duration_s=args.hours * 3600.0,
+            seed=args.seed,
+        )
+        rows = [
+            [
+                f"{event.at_s / 3600.0:.2f}h",
+                event.kind.value,
+                event.gateway_id if event.gateway_id is not None else event.client_id,
+                f"{event.duration_s / 60.0:.0f}min" if event.duration_s else "-",
+            ]
+            for event in timeline.events
+        ]
+        print(report.format_table(["at", "event", "entity", "outage"], rows))
+        return 0
+    print(report.format_table(
+        ["generation", "active W", "sleep W", "wake W", "wake time"],
+        [
+            [
+                generation.name,
+                generation.power.active_w,
+                generation.power.sleep_w,
+                generation.power.waking_w,
+                f"{generation.wake_up_time_s:.0f}s" if generation.wake_up_time_s is not None
+                else "scheme default",
+            ]
+            for generation in GENERATIONS.values()
+        ],
+    ))
+    print()
+    print(report.format_table(
+        ["fleet mix", "composition"],
+        [
+            [
+                profile.name,
+                ", ".join(f"{weight:g}x {name}" for name, weight in profile.mix),
+            ]
+            for profile in FLEETS.values()
+        ],
+    ))
+    print()
+    print(report.format_table(
+        ["churn pattern", ""],
+        [[name, "(--churn NAME previews the timeline)"] for name in churn_pattern_names()],
+    ))
+    return 0
+
+
 def _cmd_figure(args) -> int:
     if args.id == "2":
         data = figures.figure2()
@@ -317,6 +409,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "simulate": _cmd_simulate,
         "sweep": _cmd_sweep,
+        "fleet": _cmd_fleet,
         "figure": _cmd_figure,
         "crosstalk": _cmd_crosstalk,
         "testbed": _cmd_testbed,

@@ -214,17 +214,11 @@ class FlowScheduler:
         self._n_active += 1
 
     def migrate(self, flow: ActiveFlow, gateway_id: int, wireless_capacity_bps: float) -> None:
-        """Move an in-flight flow to another gateway (Optimal scheme only)."""
+        """Move an in-flight flow to another gateway (Optimal scheme and
+        churn rescue)."""
         if wireless_capacity_bps <= 0:
             raise ValueError("wireless_capacity_bps must be positive")
-        old = flow.gateway_id
-        group = self._groups.get(old)
-        if group is None or flow not in group:
-            raise ValueError("flow is not active in this scheduler")
-        group.remove(flow)
-        if not group:
-            del self._groups[old]
-        self._dirty.add(old)
+        self._remove_from_group(flow)
         flow.gateway_id = gateway_id
         flow.wireless_capacity_bps = wireless_capacity_bps
         flow.rate_bps = 0.0
@@ -234,6 +228,47 @@ class FlowScheduler:
         else:
             new_group.append(flow)
         self._dirty.add(gateway_id)
+
+    def _remove_from_group(self, flow: ActiveFlow) -> None:
+        """Detach a flow from its gateway group and mark the rates stale.
+
+        When the group empties, the gateway's completion entry goes with
+        it; either way the gateway is dirty, so the next ``ensure_rates``
+        re-derives rates and the completion horizon before any consumer
+        reads them.
+        """
+        gateway_id = flow.gateway_id
+        group = self._groups.get(gateway_id)
+        if group is None or flow not in group:
+            raise ValueError("flow is not active in this scheduler")
+        group.remove(flow)
+        if not group:
+            del self._groups[gateway_id]
+            self._gw_completion.pop(gateway_id, None)
+            self._refresh_next_completion()
+        self._dirty.add(gateway_id)
+
+    def cancel(self, flow: ActiveFlow) -> None:
+        """Drop an in-flight flow without recording a completion.
+
+        Used by churn events (a subscriber cancels, a gateway disappears
+        with no rescue target): the flow simply ceases to exist — it never
+        appears in :meth:`records`.
+        """
+        self._remove_from_group(flow)
+        self._n_active -= 1
+
+    def cancel_client(self, client_id: int) -> int:
+        """Cancel every in-flight flow of ``client_id``; returns the count."""
+        doomed = [
+            flow
+            for group in self._groups.values()
+            for flow in group
+            if flow.flow.client_id == client_id
+        ]
+        for flow in doomed:
+            self.cancel(flow)
+        return len(doomed)
 
     def flows_at_gateway(self, gateway_id: int) -> List[ActiveFlow]:
         """Active flows currently routed through ``gateway_id``."""

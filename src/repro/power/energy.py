@@ -5,8 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
-#: Category labels used by the simulator when charging energy.
+#: Category labels used by the simulator when charging energy.  With a
+#: heterogeneous fleet the user side is split per gateway generation into
+#: ``gateway:<generation>`` categories instead of the single ``gateway``.
 USER_SIDE_CATEGORIES = ("gateway",)
+USER_SIDE_PREFIX = "gateway:"
 ISP_SIDE_CATEGORIES = ("isp_modem", "line_card", "dslam_shelf")
 
 
@@ -23,8 +26,13 @@ class EnergyBreakdown:
 
     @property
     def user_side_j(self) -> float:
-        """Energy charged to user-side devices."""
-        return sum(self.per_category_j.get(c, 0.0) for c in USER_SIDE_CATEGORIES)
+        """Energy charged to user-side devices (including the per-generation
+        ``gateway:<generation>`` categories of heterogeneous fleets)."""
+        return sum(
+            joules
+            for category, joules in self.per_category_j.items()
+            if category in USER_SIDE_CATEGORIES or category.startswith(USER_SIDE_PREFIX)
+        )
 
     @property
     def isp_side_j(self) -> float:

@@ -25,8 +25,14 @@ class DevicePower:
 
     Access devices are not energy proportional (Sec. 2.2): the paper
     measures less than 10 % variation across the load range, so a single
-    ``active_w`` figure per device is an accurate model.  Waking devices
-    draw full power during the boot/synchronisation period.
+    ``active_w`` figure per device is an accurate model.
+
+    ``wake_w`` is the draw during the boot/re-synchronisation period.  The
+    default ``wake_w=None`` means *boot at full power*: the waking draw
+    falls back to ``active_w`` (the paper's devices have no separate boot
+    rail), including when ``active_w`` is overridden from the 9 W default.
+    Set ``wake_w`` explicitly for hardware whose boot burst differs from
+    its steady active draw (e.g. multi-level deep-sleep devices).
     """
 
     active_w: float
@@ -39,8 +45,18 @@ class DevicePower:
         if self.wake_w is not None and self.wake_w < 0:
             raise ValueError("wake power must be non-negative")
 
+    @property
+    def waking_w(self) -> float:
+        """Effective waking draw: ``wake_w`` when set, else the
+        ``active_w`` fallback (devices boot at full power)."""
+        return self.wake_w if self.wake_w is not None else self.active_w
+
     def power_in(self, state: PowerState) -> float:
-        """Power draw (watts) in a given :class:`PowerState`."""
+        """Power draw (watts) in a given :class:`PowerState`.
+
+        ``WAKING`` resolves through :attr:`waking_w`, i.e. it falls back to
+        ``active_w`` when no explicit ``wake_w`` was configured.
+        """
         if state is PowerState.ACTIVE:
             return self.active_w
         if state is PowerState.SLEEPING:

@@ -35,7 +35,7 @@ from __future__ import annotations
 import gc
 from bisect import bisect_right
 from collections.abc import Sequence as _SequenceABC
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from heapq import heapify, heappop, heappush
 from math import inf, isfinite
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -54,6 +54,8 @@ from repro.access.soi import SoIConfig
 from repro.core.bh2 import BH2Terminal, GatewayObservationArray
 from repro.core.optimal import AggregationProblem, GreedyAggregationSolver
 from repro.core.schemes import AggregationKind, SchemeConfig, SwitchingKind
+from repro.fleet.churn import EMPTY_TIMELINE
+from repro.fleet.profile import HOMOGENEOUS
 from repro.flows.flow import ActiveFlow, FlowRecord
 from repro.flows.scheduler import FlowScheduler
 from repro.power.energy import EnergyAccumulator, EnergyBreakdown
@@ -131,6 +133,18 @@ class SimulationResult:
     baseline_isp_power_w: float
     #: Number of kernel iterations the run took (stretched steps count once).
     steps_taken: int = 0
+    #: Energy charged to gateways of each fleet generation (joules).  With
+    #: the homogeneous default fleet this holds one entry for all gateways.
+    generation_energy_j: Dict[str, float] = field(default_factory=dict)
+    #: Number of deployed gateways per fleet generation.
+    generation_counts: Dict[str, int] = field(default_factory=dict)
+    #: Flows lost to churn: cancelled in flight (departing gateway or
+    #: unsubscribing client with no rescue target) or unroutable at
+    #: admission because no reachable gateway was in service.
+    dropped_flows: int = 0
+    #: Trace arrivals never admitted because their client was out of
+    #: service (unsubscribed, or not yet subscribed) at arrival time.
+    suppressed_arrivals: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -247,6 +261,55 @@ class AccessNetworkSimulator:
         soi = scheme.soi
         if scheme.idealized_transitions:
             soi = SoIConfig(idle_timeout_s=0.0, wake_up_time_s=0.0)
+
+        # --- fleet mix & churn timeline --------------------------------
+        fleet = scenario.fleet if scenario.fleet is not None else HOMOGENEOUS
+        churn = scenario.churn if scenario.churn is not None else EMPTY_TIMELINE
+        self.fleet = fleet
+        # The homogeneous fast path (counts × the power model's gateway
+        # device) is kept bit-identical to the seed kernel; only an
+        # explicitly attached non-uniform fleet switches to per-gateway
+        # power arrays.  A custom power model without a fleet profile stays
+        # homogeneous in that model's own gateway device.
+        self._fleet_hetero = (
+            scenario.fleet is not None and not fleet.is_uniform(power_model.gateway)
+        )
+        power_arrays = None
+        wake_times = None
+        gen_assignment = None
+        if self._fleet_hetero:
+            self._generation_names = fleet.generation_names
+            gen_assignment, active_w, sleep_w, wake_w, wake_time = fleet.device_arrays(
+                scenario.num_gateways, soi.wake_up_time_s
+            )
+            power_arrays = (active_w, sleep_w, wake_w)
+            # The idealised optimal wakes instantly whatever the hardware.
+            if not scheme.idealized_transitions:
+                wake_times = wake_time
+            self._baseline_user_w = float(sum(active_w))
+            self._generation_counts = {
+                name: sum(1 for g in gen_assignment if g == index)
+                for index, name in enumerate(self._generation_names)
+            }
+        else:
+            base_name = (
+                fleet.generation_names[0] if scenario.fleet is not None else "default"
+            )
+            self._generation_names = [base_name]
+            self._baseline_user_w = scenario.num_gateways * power_model.gateway.active_w
+            self._generation_counts = {base_name: scenario.num_gateways}
+
+        self._churn_actions = churn.compile()
+        self._churn_index = 0
+        self._next_churn_at = (
+            self._churn_actions[0].at_s if self._churn_actions else inf
+        )
+        absent_gateways, absent_clients = churn.initially_absent()
+        self._clients_out: Set[int] = set(absent_clients)
+        self._has_gateway_churn = bool(churn.gateway_ids())
+        self._dropped_flows = 0
+        self._suppressed_arrivals = 0
+
         self.gateway_array = GatewayArray(
             num_gateways=scenario.num_gateways,
             backhaul_bps=scenario.wireless.backhaul_bps,
@@ -257,6 +320,11 @@ class AccessNetworkSimulator:
             # Only schemes that observe gateway load need the sliding-window
             # traffic samples (BH2 decisions, optimal re-routing).
             track_load=scheme.aggregation is not AggregationKind.NONE,
+            power_w=power_arrays,
+            wake_time_s=wake_times,
+            generation=gen_assignment,
+            num_generations=len(self._generation_names),
+            out_of_service=absent_gateways,
         )
         #: Gateway-compatible per-device views (API compatibility).
         self.gateways: Dict[int, GatewayView] = self.gateway_array.views()
@@ -385,6 +453,7 @@ class AccessNetworkSimulator:
         next_dt = self._next_dt
         admit_arrivals = self._admit_arrivals
         plan_stretch = self._plan_stretch
+        hetero = self._fleet_hetero
         single: List[float] = [0.0]
         steps = 0
         now = 0.0
@@ -393,12 +462,23 @@ class AccessNetworkSimulator:
             if now >= next_sample:
                 record_sample(now)
                 next_sample += sample_interval_s
+            # Churn events fire at their exact instants, before this
+            # iteration's admissions and aggregation decisions (an event
+            # landing on a BH2 decision epoch is seen by that decision).
+            if now >= self._next_churn_at:
+                self._apply_churn(now)
             # Inlined _next_dt active path (the idle path stays a helper).
             self._now_hint = now
             if scheduler._n_active > 0:
                 leftover = horizon - now
                 dt = step_s if step_s < leftover else leftover
-                stretchable = dt == step_s
+                next_churn = self._next_churn_at
+                if next_churn < now + dt:
+                    # Land exactly on the churn instant, even mid-activity.
+                    dt = next_churn - now
+                    stretchable = False
+                else:
+                    stretchable = dt == step_s
             else:
                 dt = next_dt(now, next_sample, horizon)
                 stretchable = False
@@ -433,6 +513,7 @@ class AccessNetworkSimulator:
             pre_active = gateway_array.active_count
             pre_waking = gateway_array.waking_count
             pre_cards = self._cards_on
+            pre_power = gateway_array.power_snapshot() if hetero else None
             if has_active:
                 scheduler.ensure_rates(now, self._current_online_set())
                 if k == 1:
@@ -459,7 +540,28 @@ class AccessNetworkSimulator:
                 self._sync_dslam()
             post_active = gateway_array.active_count
             post_waking = gateway_array.waking_count
-            if k == 1 or (
+            if hetero:
+                # Per-gateway power: segments carry per-generation power
+                # sums instead of device counts.
+                post_power = gateway_array.power_snapshot()
+                if k == 1 or (
+                    post_active == pre_active
+                    and post_waking == pre_waking
+                    and self._cards_on == pre_cards
+                    and post_power == pre_power
+                ):
+                    self._accumulate_energy_het(
+                        now, end, post_power, post_active + post_waking, self._cards_on
+                    )
+                else:
+                    second_last = grid[-2]
+                    self._accumulate_energy_het(
+                        now, second_last, pre_power, pre_active + pre_waking, pre_cards
+                    )
+                    self._accumulate_energy_het(
+                        second_last, end, post_power, post_active + post_waking, self._cards_on
+                    )
+            elif k == 1 or (
                 post_active == pre_active
                 and post_waking == pre_waking
                 and self._cards_on == pre_cards
@@ -525,10 +627,17 @@ class AccessNetworkSimulator:
         simple = self._simple_routing
         selected_map = self.selected_gateway
         fallback_map = self.fallback_gateway
+        clients_out = self._clients_out
+        check_service = self._has_gateway_churn
+        in_service = gateway_array.in_service
         stop = bisect_right(times, now, index)
         for i in range(index, stop):
             flow = arrivals[i]
             client = flow.client_id
+            if clients_out and client in clients_out:
+                # The subscriber is not (or not yet) part of the deployment.
+                self._suppressed_arrivals += 1
+                continue
             if simple:
                 # Without aggregation every flow goes through the home gateway.
                 gateway_id = home_map[client]
@@ -548,6 +657,15 @@ class AccessNetworkSimulator:
                     capacity = capacity_cache.get((client, gateway_id))
                     if capacity is None:
                         capacity = capacity_of(client, gateway_id, False)
+            if check_service and not in_service[gateway_id]:
+                # Chosen gateway is decommissioned/failed/undeployed:
+                # rescue onto an in-service gateway or drop the flow.
+                rescued = self._rescue_gateway(client)
+                if rescued is None:
+                    self._dropped_flows += 1
+                    continue
+                gateway_id = rescued
+                capacity = self._capacity_for(client, gateway_id)
             active = ActiveFlow(flow, gateway_id, capacity)
             active.admission_index = admit_counter + admitted
             group = groups.get(gateway_id)
@@ -606,6 +724,112 @@ class AccessNetworkSimulator:
         if not candidates:
             return None
         return min(candidates, key=lambda g: self.gateway_array.utilization(g, self._now_hint))
+
+    # ------------------------------------------------------------------
+    # Fleet churn
+    # ------------------------------------------------------------------
+    def _capacity_for(self, client: int, gateway_id: int) -> float:
+        """Wireless capacity of a client↔gateway link, via the caches."""
+        if gateway_id == self._home_gateway[client]:
+            return self._home_capacity[client]
+        capacity = self.channel._cache.get((client, gateway_id))
+        if capacity is None:
+            capacity = self.channel.capacity(client, gateway_id, False)
+        return capacity
+
+    def _rescue_gateway(self, client: int) -> Optional[int]:
+        """An in-service gateway to carry ``client``'s traffic.
+
+        Preference order: the home gateway when it is in service, then —
+        only under aggregation schemes, whose terminals can attach to
+        neighbour gateways — the lowest-id reachable in-service gateway
+        that is already online, then the lowest-id reachable in-service
+        gateway (it will be woken).  Without aggregation every flow goes
+        through the home gateway, so a client whose home is out of service
+        is simply cut off.  Returns ``None`` when no rescue exists.
+        """
+        in_service = self.gateway_array.in_service
+        home = self._home_gateway[client]
+        if in_service[home]:
+            return home
+        if self._simple_routing:
+            return None
+        state = self.gateway_array.state
+        candidates = sorted(
+            g for g in self.scenario.topology.reachable[client] if in_service[g]
+        )
+        if not candidates:
+            return None
+        for gateway_id in candidates:
+            if state[gateway_id] == STATE_ACTIVE:
+                return gateway_id
+        return candidates[0]
+
+    def _gateway_out(self, gateway_id: int, now: float) -> None:
+        """Take a gateway out of service: unplug it and rescue its flows."""
+        gateway_array = self.gateway_array
+        gateway_array.set_in_service(gateway_id, False, now)
+        scheduler = self.scheduler
+        group = scheduler._groups.get(gateway_id)
+        if group:
+            state = gateway_array.state
+            for flow in list(group):
+                client = flow.flow.client_id
+                target = self._rescue_gateway(client)
+                if target is None:
+                    scheduler.cancel(flow)
+                    self._dropped_flows += 1
+                    continue
+                scheduler.migrate(flow, target, self._capacity_for(client, target))
+                if state[target] == STATE_SLEEPING:
+                    gateway_array.request_wake(target, now)
+                gateway_array.touch(target, now)
+                self.selected_gateway[client] = target
+                self.fallback_gateway[client] = None
+        # Re-point routing state that still references the dead gateway.
+        home_map = self._home_gateway
+        for client, selected in self.selected_gateway.items():
+            if selected == gateway_id:
+                rescued = self._rescue_gateway(client)
+                self.selected_gateway[client] = (
+                    rescued if rescued is not None else home_map[client]
+                )
+        for client, fallback in self.fallback_gateway.items():
+            if fallback == gateway_id:
+                self.fallback_gateway[client] = None
+        self._optimal_online.discard(gateway_id)
+
+    def _gateway_in(self, gateway_id: int, now: float) -> None:
+        """Put a gateway (back) into service.
+
+        Under always-on schemes the device powers straight up; sleep-capable
+        schemes leave it asleep until traffic (or a decision) wakes it.
+        """
+        self.gateway_array.set_in_service(
+            gateway_id, True, now, activate=not self.scheme.sleep_enabled
+        )
+
+    def _apply_churn(self, now: float) -> None:
+        """Execute every compiled churn action due at or before ``now``."""
+        actions = self._churn_actions
+        index = self._churn_index
+        count = len(actions)
+        scheduler = self.scheduler
+        while index < count and actions[index].at_s <= now:
+            action = actions[index]
+            index += 1
+            if action.kind.is_gateway:
+                if action.into_service:
+                    self._gateway_in(action.entity_id, now)
+                else:
+                    self._gateway_out(action.entity_id, now)
+            elif action.into_service:
+                self._clients_out.discard(action.entity_id)
+            else:
+                self._clients_out.add(action.entity_id)
+                self._dropped_flows += scheduler.cancel_client(action.entity_id)
+        self._churn_index = index
+        self._next_churn_at = actions[index].at_s if index < count else inf
 
     # ------------------------------------------------------------------
     # Aggregation logic
@@ -777,6 +1001,9 @@ class AccessNetworkSimulator:
             horizon_s=self.scheme.optimal_period_s
         ).items():
             demands[client] = demands.get(client, 0.0) + backlog
+        if self._clients_out:
+            # Unsubscribed (or not-yet-subscribed) clients have no demand.
+            demands = {c: d for c, d in demands.items() if c not in self._clients_out}
         if not demands:
             # Nothing to carry: every gateway may sleep.
             self._optimal_online = set()
@@ -786,9 +1013,14 @@ class AccessNetworkSimulator:
         cap = self.scenario.wireless.backhaul_bps
         demands = {c: min(d, cap) for c, d in demands.items()}
         topology = self.scenario.topology
+        capacities = self._optimal_capacities()
+        if self._has_gateway_churn:
+            # Out-of-service gateways cannot be selected by the solver.
+            in_service = self.gateway_array.in_service
+            capacities = {g: c for g, c in capacities.items() if in_service[g]}
         problem = AggregationProblem(
             demands_bps=demands,
-            capacities_bps=self._optimal_capacities(),
+            capacities_bps=capacities,
             wireless_bps=self._optimal_wireless(),
             backup=self.scheme.bh2.backup,
             max_utilization=self.scheme.optimal_max_utilization,
@@ -877,16 +1109,56 @@ class AccessNetworkSimulator:
             self._flush_energy()
             self._energy_run = [start, end, active, waking, cards_on]
 
+    def _accumulate_energy_het(
+        self,
+        start: float,
+        end: float,
+        snapshot: Tuple[Tuple[float, ...], ...],
+        powered: int,
+        cards_on: int,
+    ) -> None:
+        """Heterogeneous-fleet twin of :meth:`_accumulate_energy`.
+
+        Segments carry the per-generation power snapshot (same object while
+        no gateway transitioned) plus the powered-gateway count for the
+        per-line ISP modems.
+        """
+        run = self._energy_run
+        if (
+            run is not None
+            and run[1] == start
+            and run[2] == snapshot
+            and run[3] == powered
+            and run[4] == cards_on
+        ):
+            run[1] = end
+        else:
+            self._flush_energy()
+            self._energy_run = [start, end, snapshot, powered, cards_on]
+
     def _flush_energy(self) -> None:
         run = self._energy_run
         if run is None:
             return
-        start, end, active, waking, cards_on = run
-        duration = end - start
         model = self.power_model
         energy = self.energy
-        energy.charge_at("gateway", model.user_side_power(active, waking), start, duration)
-        energy.charge_at("isp_modem", (active + waking) * model.isp_modem.active_w, start, duration)
+        if self._fleet_hetero:
+            start, end, snapshot, powered, cards_on = run
+            duration = end - start
+            active_by_gen, waking_by_gen, sleeping_by_gen = snapshot
+            for index, name in enumerate(self._generation_names):
+                energy.charge_at(
+                    f"gateway:{name}",
+                    active_by_gen[index] + waking_by_gen[index] + sleeping_by_gen[index],
+                    start,
+                    duration,
+                )
+        else:
+            start, end, active, waking, cards_on = run
+            duration = end - start
+            powered = active + waking
+            energy.charge_at("gateway", model.user_side_power(active, waking), start, duration)
+        energy.charge_at("isp_modem", powered * model.isp_modem.active_w, start, duration)
         energy.charge_at("line_card", cards_on * model.line_card.active_w, start, duration)
         energy.charge_at("dslam_shelf", model.dslam_shelf.active_w, start, duration)
         self._energy_run = None
@@ -913,7 +1185,14 @@ class AccessNetworkSimulator:
         if isfinite(transition):
             candidates.append(transition)
         target = min(c for c in candidates if c > now)
-        return max(self.step_s, min(target - now, self.MAX_IDLE_SKIP_S, horizon - now))
+        dt = max(self.step_s, min(target - now, self.MAX_IDLE_SKIP_S, horizon - now))
+        # Churn events execute at their exact instants, closer than a full
+        # step if need be (this clamp alone lands on them — a churn
+        # candidate in the min above could never change the outcome).
+        next_churn = self._next_churn_at
+        if now < next_churn < now + dt:
+            dt = next_churn - now
+        return dt
 
     def _plan_stretch(
         self, now: float, next_sample: float, horizon: float
@@ -937,6 +1216,9 @@ class AccessNetworkSimulator:
                 limit = arrival
         if self._min_decision_at < limit:
             limit = self._min_decision_at
+        next_churn = self._next_churn_at
+        if next_churn < limit:
+            limit = next_churn
         if self.scheme.aggregation is AggregationKind.OPTIMAL and self._next_optimal_at < limit:
             limit = self._next_optimal_at
         if limit <= now + step:
@@ -962,7 +1244,12 @@ class AccessNetworkSimulator:
         while len(grid) < max_steps:
             if horizon - t < step:
                 break
-            t = t + step
+            t_next = t + step
+            if t_next > next_churn:
+                # A stretch may end *on* a churn instant but never cross
+                # one: the dt-capped single-step path lands on it exactly.
+                break
+            t = t_next
             grid.append(t)
             if t >= limit:
                 break
@@ -978,14 +1265,30 @@ class AccessNetworkSimulator:
             categories=("isp_modem", "line_card", "dslam_shelf")
         )
         model = self.power_model
-        baseline_power = model.no_sleep_power(
-            num_gateways=self.scenario.num_gateways,
-            num_line_cards=self.scenario.dslam.num_line_cards,
-        )
         baseline_isp = model.isp_side_power(
             modems_online=self.scenario.num_gateways,
             line_cards_online=self.scenario.dslam.num_line_cards,
         )
+        if self._fleet_hetero:
+            # Always-on operation of the mixed fleet: every gateway at its
+            # own active draw, the full ISP side powered.
+            baseline_power = self._baseline_user_w + baseline_isp
+        else:
+            baseline_power = model.no_sleep_power(
+                num_gateways=self.scenario.num_gateways,
+                num_line_cards=self.scenario.dslam.num_line_cards,
+            )
+        energy_breakdown = self.energy.breakdown()
+        per_category = energy_breakdown.per_category_j
+        if self._fleet_hetero:
+            generation_energy = {
+                name: per_category.get(f"gateway:{name}", 0.0)
+                for name in self._generation_names
+            }
+        else:
+            generation_energy = {
+                self._generation_names[0]: per_category.get("gateway", 0.0)
+            }
         gateway_array = self.gateway_array
         return SimulationResult(
             scheme_name=self.scheme.name,
@@ -997,7 +1300,7 @@ class AccessNetworkSimulator:
             waking_gateways=samples[:, 2] if samples.size else np.array([]),
             online_modems=samples[:, 3] if samples.size else np.array([]),
             online_line_cards=samples[:, 4] if samples.size else np.array([]),
-            energy=self.energy.breakdown(),
+            energy=energy_breakdown,
             energy_series_times=np.array(energy_times, dtype=float),
             energy_series_total_j=np.array(energy_total, dtype=float),
             energy_series_isp_j=np.array(energy_isp, dtype=float),
@@ -1015,6 +1318,10 @@ class AccessNetworkSimulator:
             baseline_power_w=baseline_power,
             baseline_isp_power_w=baseline_isp,
             steps_taken=self.steps_taken,
+            generation_energy_j=generation_energy,
+            generation_counts=dict(self._generation_counts),
+            dropped_flows=self._dropped_flows,
+            suppressed_arrivals=self._suppressed_arrivals,
         )
 
     #: Time hint used by helpers that need "now" outside the main loop.

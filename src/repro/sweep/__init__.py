@@ -32,12 +32,13 @@ from repro.sweep.catalog import (
     register_family,
 )
 from repro.sweep.engine import SweepConfig, SweepResult, SweepTask, expand_tasks, run_sweep
-from repro.sweep.report import render_sweep, sweep_to_json
+from repro.sweep.report import generation_table, render_sweep, sweep_to_json
 from repro.sweep.store import ResultStore, RunRecord, run_digest
 
 __all__ = [
     "ResultStore",
     "RunRecord",
+    "generation_table",
     "ScenarioFamily",
     "ScenarioSpec",
     "SweepConfig",

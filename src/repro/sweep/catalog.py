@@ -21,6 +21,8 @@ import itertools
 from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.fleet.churn import CHURN_PATTERNS, ChurnTimeline, build_churn
+from repro.fleet.profile import FLEETS, HOMOGENEOUS, FleetProfile
 from repro.topology.scenario import (
     DslamConfig,
     Scenario,
@@ -46,6 +48,13 @@ DIURNAL_PROFILES: Dict[str, Optional[Tuple[float, ...]]] = {
         0.10, 0.08, 0.06, 0.05, 0.05, 0.06, 0.08, 0.12,
         0.16, 0.20, 0.22, 0.24, 0.25, 0.26, 0.28, 0.30,
         0.32, 0.35, 0.45, 0.80, 1.00, 0.95, 0.40, 0.18,
+    ),
+    # Weekend: slow late mornings, a long sustained afternoon, and an
+    # evening peak — the flat-ish home-heavy load of non-working days.
+    "weekend": (
+        0.30, 0.22, 0.15, 0.10, 0.08, 0.08, 0.10, 0.15,
+        0.25, 0.40, 0.55, 0.65, 0.70, 0.72, 0.70, 0.68,
+        0.70, 0.75, 0.82, 0.92, 1.00, 0.90, 0.65, 0.45,
     ),
 }
 
@@ -76,6 +85,12 @@ class ScenarioSpec:
     ports_per_card: int = 12
     #: Key into :data:`DIURNAL_PROFILES`.
     profile: str = "default"
+    #: Key into :data:`repro.fleet.profile.FLEETS` — the gateway-generation
+    #: mix of the deployment ("homogeneous" is the paper's uniform fleet).
+    fleet: str = "homogeneous"
+    #: Key into :data:`repro.fleet.churn.CHURN_PATTERNS` — the mid-trace
+    #: churn pattern ("none" is the paper's static deployment).
+    churn: str = "none"
     #: Extra keyword overrides for
     #: :class:`~repro.traces.synthetic.SyntheticTraceConfig`, as a sorted
     #: tuple of ``(field, value)`` pairs so the spec stays hashable.
@@ -87,10 +102,34 @@ class ScenarioSpec:
                 f"unknown diurnal profile {self.profile!r}; "
                 f"known: {', '.join(sorted(DIURNAL_PROFILES))}"
             )
+        if self.fleet not in FLEETS:
+            raise ValueError(
+                f"unknown fleet profile {self.fleet!r}; "
+                f"known: {', '.join(sorted(FLEETS))}"
+            )
+        if self.churn not in CHURN_PATTERNS:
+            raise ValueError(
+                f"unknown churn pattern {self.churn!r}; "
+                f"known: {', '.join(sorted(CHURN_PATTERNS))}"
+            )
         if self.backhaul_scale <= 0:
             raise ValueError("backhaul_scale must be positive")
         if self.num_gateways > self.num_line_cards * self.ports_per_card:
             raise ValueError("num_gateways exceeds the DSLAM port count")
+
+    def fleet_profile(self) -> FleetProfile:
+        """The resolved gateway-generation mix of this spec."""
+        return FLEETS[self.fleet]
+
+    def churn_timeline(self) -> ChurnTimeline:
+        """The materialised churn timeline of this spec (deterministic)."""
+        return build_churn(
+            self.churn,
+            num_gateways=self.num_gateways,
+            num_clients=self.num_clients,
+            duration_s=self.duration_s,
+            seed=self.seed,
+        )
 
     def canonical(self) -> Dict[str, object]:
         """The digest-relevant parameters (everything except the label).
@@ -98,13 +137,24 @@ class ScenarioSpec:
         The diurnal profile is inlined as its 24 weight values rather than
         its registry name, so editing a named profile (or registering the
         same weights under another name) changes — or preserves — cached
-        digests according to the physics, not the label.
+        digests according to the physics, not the label.  Fleet mixes and
+        churn patterns are inlined the same way — as generation physics and
+        materialised event lists — and *omitted entirely* for the
+        homogeneous/static defaults, so pre-fleet digests stay valid.
         """
         payload = {f.name: getattr(self, f.name) for f in fields(self) if f.name != "label"}
         del payload["profile"]
         weights = DIURNAL_PROFILES[self.profile]
         payload["diurnal_profile"] = list(weights) if weights is not None else None
         payload["trace_overrides"] = [list(pair) for pair in self.trace_overrides]
+        del payload["fleet"]
+        del payload["churn"]
+        fleet_canonical = self.fleet_profile().canonical()
+        if fleet_canonical != HOMOGENEOUS.canonical():
+            payload["fleet"] = fleet_canonical
+        churn_timeline = self.churn_timeline()
+        if not churn_timeline.is_empty:
+            payload["churn"] = churn_timeline.canonical()
         return payload
 
     def build(self) -> Scenario:
@@ -116,6 +166,8 @@ class ScenarioSpec:
         wireless = WirelessParameters()
         if self.backhaul_scale != 1.0:
             wireless = wireless.scaled(self.backhaul_scale)
+        fleet_profile = self.fleet_profile()
+        churn_timeline = self.churn_timeline()
         return build_default_scenario(
             seed=self.seed,
             num_clients=self.num_clients,
@@ -127,6 +179,12 @@ class ScenarioSpec:
             ),
             density_override=self.density,
             wireless=wireless,
+            fleet=(
+                fleet_profile
+                if fleet_profile.canonical() != HOMOGENEOUS.canonical()
+                else None
+            ),
+            churn=churn_timeline if not churn_timeline.is_empty else None,
             **overrides,
         )
 
@@ -261,6 +319,33 @@ register_family(ScenarioFamily(
         ("backhaul_scale", (0.5, 1.0, 2.0)),
         ("mean_networks_in_range", (3.0, 5.6)),
     ),
+))
+
+register_family(ScenarioFamily(
+    name="mixed-fleet",
+    description="Heterogeneous gateway generations (legacy 9 W, efficient "
+                "5 W, multi-level deep-sleep): where the savings move when "
+                "the fleet is no longer uniform hardware.",
+    base=ScenarioSpec(num_clients=136, num_gateways=20, seed=2071),
+    grid=(("fleet", ("legacy-efficient", "tri-mix", "efficient-only")),),
+))
+
+register_family(ScenarioFamily(
+    name="gateway-churn",
+    description="Mid-trace fleet dynamics: transient gateway failures, a "
+                "staged build-out of new gateways and subscribers, and "
+                "subscriber churn with a decommissioning.",
+    base=ScenarioSpec(num_clients=136, num_gateways=20, seed=2081),
+    grid=(("churn", ("midday-dropout", "evening-expansion", "subscriber-churn")),),
+))
+
+register_family(ScenarioFamily(
+    name="weekend-weekday",
+    description="Working-day office swing vs. the flat home-heavy weekend "
+                "load: how much the sleeping payoff depends on the day "
+                "shape.",
+    base=ScenarioSpec(seed=2091),
+    grid=(("profile", ("office", "weekend")),),
 ))
 
 register_family(ScenarioFamily(

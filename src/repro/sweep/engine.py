@@ -63,12 +63,17 @@ class SweepTask:
 
 
 def run_metrics(result: SimulationResult, duration_s: float) -> Dict[str, float]:
-    """The scalar metrics a sweep stores and aggregates for one run."""
+    """The scalar metrics a sweep stores and aggregates for one run.
+
+    Heterogeneous fleets add one ``gen:<generation>_kwh`` energy column per
+    gateway generation (plus the matching ``gen:<generation>_count``), and
+    churn scenarios report the flows lost to departures.
+    """
     if duration_s > PEAK_WINDOW[1]:
         peak = PEAK_WINDOW
     else:
         peak = (0.0, duration_s)
-    return {
+    metrics = {
         "mean_savings_percent": 100.0 * result.mean_savings(),
         "peak_savings_percent": 100.0 * result.mean_savings(*peak),
         "mean_online_gateways": result.mean_online_gateways(),
@@ -76,6 +81,16 @@ def run_metrics(result: SimulationResult, duration_s: float) -> Dict[str, float]
         "mean_online_line_cards": result.mean_online_line_cards(),
         "isp_share_of_savings_percent": 100.0 * result.mean_isp_share_of_savings(),
     }
+    metrics["dropped_flows"] = float(result.dropped_flows)
+    generation_names = list(result.generation_energy_j)
+    # The homogeneous default reports a single pseudo-generation named
+    # "default"; real fleet profiles (mixed or uniform-but-non-default)
+    # get one energy/count column pair per generation.
+    if generation_names and generation_names != ["default"]:
+        for name, joules in result.generation_energy_j.items():
+            metrics[f"gen:{name}_kwh"] = joules / 3.6e6
+            metrics[f"gen:{name}_count"] = float(result.generation_counts.get(name, 0))
+    return metrics
 
 
 def expand_tasks(
@@ -87,6 +102,9 @@ def expand_tasks(
     tasks: List[SweepTask] = []
     for family_ in families:
         for spec in family_.expand():
+            # canonical() materialises churn timelines and fleet mixes;
+            # compute it once per spec, not once per scheme x repetition.
+            spec_canonical = spec.canonical()
             for scheme in schemes:
                 for run_index in range(config.runs_per_scheme):
                     seed = scheme_run_seed(spec.seed, run_index, scheme.name)
@@ -99,7 +117,9 @@ def expand_tasks(
                         step_s=config.step_s,
                         sample_interval_s=config.sample_interval_s,
                         digest=run_digest(
-                            spec, scheme, seed, config.step_s, config.sample_interval_s
+                            spec, scheme, seed, config.step_s,
+                            config.sample_interval_s,
+                            spec_canonical=spec_canonical,
                         ),
                     ))
     return tasks
@@ -177,7 +197,13 @@ class SweepResult:
         rows: List[Dict[str, object]] = []
         for key in order:
             records = sorted(groups[key], key=lambda r: r.run_index)
-            metric_names = list(records[0].metrics)
+            # Intersect across records: a store written before a metric
+            # column existed may back some repetitions of a group.
+            metric_names = [
+                name
+                for name in records[0].metrics
+                if all(name in r.metrics for r in records)
+            ]
             means = {
                 name: sum(r.metrics[name] for r in records) / len(records)
                 for name in metric_names
@@ -236,10 +262,15 @@ def run_sweep(
     records: Dict[str, RunRecord] = {}
     pending: List[SweepTask] = []
     seen_digests = set()
+    caching = store is not None and use_cache
+    # The store-wide manifest answers "which digests exist?" in one read
+    # instead of one file open per task; get() stays authoritative, so a
+    # stale manifest can only cost a recomputation, never a wrong result.
+    known = store.known_digests() if caching else frozenset()
     for task in tasks:
         if task.digest in seen_digests or task.digest in records:
             continue
-        cached = store.get(task.digest) if (store is not None and use_cache) else None
+        cached = store.get(task.digest) if (caching and task.digest in known) else None
         if cached is not None:
             records[task.digest] = cached
         else:

@@ -38,6 +38,35 @@ def family_tables(result: SweepResult) -> Dict[str, str]:
     }
 
 
+def generation_table(result: SweepResult) -> str:
+    """Per-generation gateway energy for heterogeneous-fleet scenarios.
+
+    One row per (scenario, scheme) aggregate that carries ``gen:*_kwh``
+    columns; empty string when the sweep contains no mixed fleets.
+    """
+    rows: List[List[object]] = []
+    generation_names: List[str] = []
+    for row in result.aggregates():
+        gen_keys = [key for key in row if str(key).startswith("gen:") and str(key).endswith("_kwh")]
+        if not gen_keys:
+            continue
+        for key in gen_keys:
+            name = str(key)[len("gen:"):-len("_kwh")]
+            if name not in generation_names:
+                generation_names.append(name)
+        rows.append(row)
+    if not rows:
+        return ""
+    headers = ["scenario", "scheme"] + [f"{name} kWh" for name in generation_names]
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [row["scenario"], row["scheme"]]
+            + [row.get(f"gen:{name}_kwh", "") for name in generation_names]
+        )
+    return report.format_table(headers, table_rows)
+
+
 def overview_table(result: SweepResult) -> str:
     """Family × scheme overview: savings (vs. the always-on power baseline)
     averaged over a family's scenarios."""
@@ -63,6 +92,11 @@ def render_sweep(result: SweepResult) -> str:
     for family, table in family_tables(result).items():
         blocks.append(f"== {family} ==")
         blocks.append(table)
+        blocks.append("")
+    generations = generation_table(result)
+    if generations:
+        blocks.append("== per-generation gateway energy (mixed fleets) ==")
+        blocks.append(generations)
         blocks.append("")
     blocks.append("== cross-family overview (savings vs. always-on baseline) ==")
     blocks.append(overview_table(result))

@@ -24,7 +24,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Set
 
 #: Bump when the meaning of stored metrics (or anything the digest does
 #: not capture) changes; old records then simply stop matching.
@@ -59,11 +59,17 @@ def run_digest(
     seed: int,
     step_s: float,
     sample_interval_s: float,
+    spec_canonical: Optional[dict] = None,
 ) -> str:
-    """Stable content digest of one (scenario, scheme, seed) run."""
+    """Stable content digest of one (scenario, scheme, seed) run.
+
+    ``spec_canonical`` lets callers expanding many (scheme, repetition)
+    cells of one spec pay for ``spec.canonical()`` — which materialises
+    churn timelines and fleet mixes — once instead of per cell.
+    """
     payload = {
         "store_version": STORE_VERSION,
-        "scenario": spec.canonical(),
+        "scenario": spec_canonical if spec_canonical is not None else spec.canonical(),
         "scheme": canonicalize(scheme),
         "seed": seed,
         "step_s": step_s,
@@ -101,12 +107,148 @@ class ResultStore:
     ``get`` treats missing, truncated or schema-mismatched files as cache
     misses, so a store survives crashes and version bumps without manual
     cleanup.
+
+    A store-wide **manifest** (``manifest.jsonl``, one summary line per
+    record, appended on every :meth:`put`) lets a cold ``--resume`` learn
+    which digests exist without opening every record file.  The manifest is
+    advisory: membership false-positives fall through :meth:`get` (still a
+    miss), false-negatives merely recompute a run, and a manifest whose
+    entry count disagrees with the record-file count is rebuilt lazily from
+    the records themselves.
     """
+
+    MANIFEST_NAME = "manifest.jsonl"
 
     def __init__(self, root: os.PathLike | str):
         self.root = Path(root)
         self.runs_dir = self.root / "runs"
         self.runs_dir.mkdir(parents=True, exist_ok=True)
+        #: In-memory manifest cache: digest -> summary dict (lazy).  Only
+        #: ever set from the staleness-checked :meth:`manifest` path.
+        self._manifest: Optional[Dict[str, dict]] = None
+        #: Raw-line cache used solely to deduplicate :meth:`put` appends;
+        #: never served to readers, so it may lag the record files.
+        self._manifest_lines: Optional[Dict[str, dict]] = None
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        """Where the store-wide manifest lives."""
+        return self.root / self.MANIFEST_NAME
+
+    @staticmethod
+    def _summary(record: "RunRecord") -> dict:
+        return {
+            "digest": record.digest,
+            "family": record.family,
+            "label": record.label,
+            "scheme": record.scheme,
+            "run_index": record.run_index,
+            "seed": record.seed,
+            "duration_s": record.duration_s,
+            "store_version": record.store_version,
+        }
+
+    def _record_file_count(self) -> int:
+        """Number of record files, by one readdir (no stat, no opens)."""
+        with os.scandir(self.runs_dir) as entries:
+            return sum(1 for entry in entries if entry.name.endswith(".json"))
+
+    def _read_manifest_lines(self) -> Dict[str, dict]:
+        entries: Dict[str, dict] = {}
+        try:
+            with open(self.manifest_path, "r") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        payload = json.loads(line)
+                        digest = payload["digest"]
+                    except (ValueError, TypeError, KeyError):
+                        continue  # torn append from a crash: ignore the line
+                    entries[digest] = payload
+        except OSError:
+            return {}
+        return entries
+
+    def manifest(self) -> Dict[str, dict]:
+        """Digest → record summary for every record the store knows about.
+
+        Served from ``manifest.jsonl`` when its entry count matches the
+        record files on disk; rebuilt from the records (and rewritten
+        atomically) when it is stale or missing.  Unvalidatable record
+        files (corrupt, or left behind by a ``STORE_VERSION`` bump) are
+        kept as ``invalid`` tombstone entries so the counts keep matching
+        and one bad file does not force a rebuild on every cold open.
+        """
+        if self._manifest is not None:
+            return self._manifest
+        entries = self._read_manifest_lines()
+        if len(entries) != self._record_file_count():
+            entries = self.rebuild_manifest()
+        self._manifest = entries
+        self._manifest_lines = entries
+        return entries
+
+    def known_digests(self) -> Set[str]:
+        """Digests of validated records listed by the manifest (fast cold
+        listing; tombstoned invalid files are excluded)."""
+        return {
+            digest
+            for digest, summary in self.manifest().items()
+            if not summary.get("invalid")
+        }
+
+    def rebuild_manifest(self) -> Dict[str, dict]:
+        """Regenerate the manifest from the record files, atomically."""
+        entries: Dict[str, dict] = {}
+        for digest in self.digests():
+            record = self.get(digest)
+            if record is not None:
+                entries[digest] = self._summary(record)
+            else:
+                entries[digest] = {"digest": digest, "invalid": True}
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, prefix=".manifest-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                for summary in entries.values():
+                    handle.write(json.dumps(summary, sort_keys=True) + "\n")
+            os.replace(tmp_name, self.manifest_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._manifest = entries
+        self._manifest_lines = entries
+        return entries
+
+    def _append_manifest(self, record: "RunRecord") -> None:
+        summary = self._summary(record)
+        # Lazily load the manifest *lines* (no staleness rebuild — the
+        # record just written would always make the counts disagree) so an
+        # overwriting put — e.g. repeated --no-resume sweeps against the
+        # same store — does not grow the file with duplicate lines.  The
+        # line cache is append-dedup state only: a later manifest() call
+        # still runs its own staleness check against the record files.
+        if self._manifest_lines is None:
+            self._manifest_lines = self._read_manifest_lines()
+        if self._manifest_lines.get(record.digest) == summary:
+            return
+        self._manifest_lines[record.digest] = summary
+        if self._manifest is not None:
+            self._manifest[record.digest] = summary
+        try:
+            with open(self.manifest_path, "a") as handle:
+                handle.write(json.dumps(summary, sort_keys=True) + "\n")
+        except OSError:
+            # The manifest is an optimization; a failed append only means
+            # the next cold load rebuilds it.
+            pass
 
     def path_for(self, digest: str) -> Path:
         """Where the record for a digest lives."""
@@ -139,6 +281,7 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        self._append_manifest(record)
         return path
 
     def digests(self) -> List[str]:

@@ -18,6 +18,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.fleet.churn import ChurnTimeline
+from repro.fleet.profile import FleetProfile
 from repro.topology.overlap import GatewayTopology, binomial_connectivity, generate_overlap_topology
 from repro.traces.models import WirelessTrace
 from repro.traces.synthetic import SyntheticTraceConfig, SyntheticTraceGenerator
@@ -103,6 +105,10 @@ class Scenario:
     #: gateway id -> DSLAM port index in [0, dslam.total_ports).
     gateway_port: Dict[int, int] = field(default_factory=dict)
     seed: int = 0
+    #: Gateway-generation mix (``None`` means the homogeneous 9 W fleet).
+    fleet: Optional[FleetProfile] = None
+    #: Mid-trace churn events (``None`` means a static deployment).
+    churn: Optional[ChurnTimeline] = None
 
     def __post_init__(self) -> None:
         if self.trace.num_gateways != self.topology.num_gateways:
@@ -121,6 +127,13 @@ class Scenario:
             raise ValueError("two gateways share a DSLAM port")
         if any(not 0 <= p < self.dslam.total_ports for p in ports):
             raise ValueError("DSLAM port index out of range")
+        if self.churn is not None:
+            self.churn.validate_against(
+                self.trace.num_gateways, list(self.trace.home_gateway)
+            )
+        if self.fleet is not None:
+            # Fail early on an inconsistent mix rather than inside a run.
+            self.fleet.counts(self.trace.num_gateways)
 
     @property
     def num_gateways(self) -> int:
@@ -145,6 +158,8 @@ class Scenario:
             dslam=dslam,
             gateway_port=dict(self.gateway_port),
             seed=self.seed,
+            fleet=self.fleet,
+            churn=self.churn,
         )
 
     def with_topology(self, topology: GatewayTopology) -> "Scenario":
@@ -156,6 +171,8 @@ class Scenario:
             dslam=self.dslam,
             gateway_port=dict(self.gateway_port),
             seed=self.seed,
+            fleet=self.fleet,
+            churn=self.churn,
         )
 
 
@@ -183,6 +200,8 @@ def build_default_scenario(
     trace: Optional[WirelessTrace] = None,
     density_override: Optional[float] = None,
     wireless: Optional[WirelessParameters] = None,
+    fleet: Optional[FleetProfile] = None,
+    churn: Optional[ChurnTimeline] = None,
     **trace_overrides,
 ) -> Scenario:
     """The default evaluation scenario of Sec. 5.1.
@@ -190,7 +209,9 @@ def build_default_scenario(
     ``density_override`` switches the topology to the binomial connectivity
     model of Fig. 10 with the given mean number of available gateways;
     ``wireless`` overrides the capacity mix (the scenario-catalog families
-    use it for backhaul sensitivity).
+    use it for backhaul sensitivity); ``fleet`` and ``churn`` attach a
+    gateway-generation mix and a mid-trace churn timeline (see
+    :mod:`repro.fleet`).
     """
     if trace is None:
         config = SyntheticTraceConfig(
@@ -218,4 +239,6 @@ def build_default_scenario(
         wireless=wireless or WirelessParameters(),
         dslam=dslam or DslamConfig(),
         seed=seed,
+        fleet=fleet,
+        churn=churn,
     )

@@ -1,0 +1,137 @@
+"""Tests for churn timelines: validation, compilation, named patterns."""
+
+import pytest
+
+from repro.fleet.churn import (
+    CHURN_PATTERNS,
+    ChurnEvent,
+    ChurnKind,
+    ChurnTimeline,
+    EMPTY_TIMELINE,
+    build_churn,
+    churn_pattern_names,
+)
+
+
+def _fail(at, gateway, duration):
+    return ChurnEvent(
+        at_s=at, kind=ChurnKind.GATEWAY_FAIL, gateway_id=gateway, duration_s=duration
+    )
+
+
+def test_event_validation():
+    with pytest.raises(ValueError, match="non-negative"):
+        ChurnEvent(at_s=-1.0, kind=ChurnKind.GATEWAY_LEAVE, gateway_id=0)
+    with pytest.raises(ValueError, match="gateway_id"):
+        ChurnEvent(at_s=0.0, kind=ChurnKind.GATEWAY_LEAVE, client_id=1)
+    with pytest.raises(ValueError, match="client_id"):
+        ChurnEvent(at_s=0.0, kind=ChurnKind.CLIENT_LEAVE, gateway_id=1)
+    with pytest.raises(ValueError, match="duration_s"):
+        ChurnEvent(at_s=0.0, kind=ChurnKind.GATEWAY_FAIL, gateway_id=1)
+    with pytest.raises(ValueError, match="no duration"):
+        ChurnEvent(at_s=0.0, kind=ChurnKind.GATEWAY_LEAVE, gateway_id=1, duration_s=5.0)
+
+
+def test_lifecycle_validation():
+    # Joining while already present (the first join makes it present).
+    with pytest.raises(ValueError, match="already present"):
+        ChurnTimeline((
+            ChurnEvent(at_s=5.0, kind=ChurnKind.GATEWAY_JOIN, gateway_id=0),
+            ChurnEvent(at_s=10.0, kind=ChurnKind.GATEWAY_JOIN, gateway_id=0),
+        ))
+    # Leaving twice.
+    with pytest.raises(ValueError, match="while absent"):
+        ChurnTimeline((
+            ChurnEvent(at_s=5.0, kind=ChurnKind.GATEWAY_LEAVE, gateway_id=0),
+            ChurnEvent(at_s=10.0, kind=ChurnKind.GATEWAY_LEAVE, gateway_id=0),
+        ))
+    # Failing during an earlier outage.
+    with pytest.raises(ValueError, match="overlaps"):
+        ChurnTimeline((_fail(10.0, 0, 100.0), _fail(50.0, 0, 100.0)))
+    # Leave after the outage window is fine.
+    ChurnTimeline((
+        _fail(10.0, 0, 100.0),
+        ChurnEvent(at_s=200.0, kind=ChurnKind.GATEWAY_LEAVE, gateway_id=0),
+    ))
+    # Leave-then-rejoin is a valid sequence.
+    ChurnTimeline((
+        ChurnEvent(at_s=5.0, kind=ChurnKind.CLIENT_LEAVE, client_id=3),
+        ChurnEvent(at_s=50.0, kind=ChurnKind.CLIENT_JOIN, client_id=3),
+    ))
+
+
+def test_events_are_sorted_and_initially_absent_detected():
+    timeline = ChurnTimeline((
+        ChurnEvent(at_s=500.0, kind=ChurnKind.CLIENT_JOIN, client_id=7),
+        ChurnEvent(at_s=100.0, kind=ChurnKind.GATEWAY_JOIN, gateway_id=2),
+        _fail(300.0, 1, 60.0),
+    ))
+    assert [e.at_s for e in timeline.events] == [100.0, 300.0, 500.0]
+    gateways, clients = timeline.initially_absent()
+    assert gateways == {2}
+    assert clients == {7}
+    # A failing gateway is present from the start.
+    assert 1 not in gateways
+
+
+def test_compile_expands_failures_into_out_and_in():
+    timeline = ChurnTimeline((
+        _fail(300.0, 1, 60.0),
+        ChurnEvent(at_s=320.0, kind=ChurnKind.CLIENT_LEAVE, client_id=4),
+    ))
+    actions = timeline.compile()
+    assert [(a.at_s, a.entity_id, a.into_service) for a in actions] == [
+        (300.0, 1, False),
+        (320.0, 4, False),
+        (360.0, 1, True),
+    ]
+    assert all(a.kind is ChurnKind.GATEWAY_FAIL for a in actions if a.entity_id == 1)
+
+
+def test_validate_against_scenario_population():
+    timeline = ChurnTimeline((
+        ChurnEvent(at_s=1.0, kind=ChurnKind.GATEWAY_LEAVE, gateway_id=9),
+    ))
+    timeline.validate_against(10, [0, 1, 2])
+    with pytest.raises(ValueError, match="gateway 9"):
+        timeline.validate_against(9, [0, 1, 2])
+    clients = ChurnTimeline((
+        ChurnEvent(at_s=1.0, kind=ChurnKind.CLIENT_LEAVE, client_id=5),
+    ))
+    with pytest.raises(ValueError, match="unknown client"):
+        clients.validate_against(10, [0, 1, 2])
+
+
+def test_canonical_is_digest_stable():
+    a = ChurnTimeline((_fail(300.0, 1, 60.0),))
+    b = ChurnTimeline((_fail(300.0, 1, 60.0),))
+    assert a.canonical() == b.canonical()
+    c = ChurnTimeline((_fail(300.0, 1, 61.0),))
+    assert a.canonical() != c.canonical()
+    assert EMPTY_TIMELINE.canonical() == []
+
+
+@pytest.mark.parametrize("name", [n for n in CHURN_PATTERNS if n != "none"])
+def test_named_patterns_build_valid_timelines(name):
+    timeline = build_churn(
+        name, num_gateways=20, num_clients=136, duration_s=24 * 3600.0, seed=2081
+    )
+    assert not timeline.is_empty
+    timeline.validate_against(20, list(range(136)))
+    again = build_churn(
+        name, num_gateways=20, num_clients=136, duration_s=24 * 3600.0, seed=2081
+    )
+    assert timeline.canonical() == again.canonical()
+    other_seed = build_churn(
+        name, num_gateways=20, num_clients=136, duration_s=24 * 3600.0, seed=1
+    )
+    assert timeline.canonical() != other_seed.canonical()
+
+
+def test_none_pattern_and_unknown_pattern():
+    assert build_churn(
+        "none", num_gateways=4, num_clients=2, duration_s=60.0, seed=0
+    ).is_empty
+    with pytest.raises(KeyError, match="unknown churn pattern"):
+        build_churn("nope", num_gateways=4, num_clients=2, duration_s=60.0, seed=0)
+    assert churn_pattern_names()[0] == "none"

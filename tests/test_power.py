@@ -22,6 +22,23 @@ def test_device_power_states():
 def test_device_power_custom_wake():
     device = DevicePower(active_w=9.0, wake_w=12.0)
     assert device.power_in(PowerState.WAKING) == 12.0
+    assert device.waking_w == 12.0
+
+
+def test_waking_power_follows_an_overridden_active_power():
+    """The documented ``wake_w=None`` fallback: devices boot at *their own*
+    full power, so overriding ``active_w`` moves the waking draw with it."""
+    device = DevicePower(active_w=5.0)
+    assert device.wake_w is None
+    assert device.waking_w == 5.0
+    assert device.power_in(PowerState.WAKING) == 5.0
+    # An explicit wake rail decouples the two again.
+    explicit = DevicePower(active_w=5.0, wake_w=6.5)
+    assert explicit.waking_w == 6.5
+    # Zero is a valid explicit wake power, distinct from the fallback.
+    free_boot = DevicePower(active_w=5.0, wake_w=0.0)
+    assert free_boot.waking_w == 0.0
+    assert free_boot.power_in(PowerState.WAKING) == 0.0
 
 
 def test_device_power_validation():
@@ -29,6 +46,8 @@ def test_device_power_validation():
         DevicePower(active_w=-1.0)
     with pytest.raises(ValueError):
         DevicePower(active_w=1.0, sleep_w=-0.1)
+    with pytest.raises(ValueError):
+        DevicePower(active_w=1.0, wake_w=-0.5)
 
 
 def test_power_state_is_online():
@@ -127,6 +146,17 @@ def test_breakdown_savings_and_addition():
 def test_breakdown_savings_requires_positive_baseline():
     with pytest.raises(ValueError):
         EnergyBreakdown({}).savings_vs(EnergyBreakdown({}))
+
+
+def test_per_generation_gateway_categories_count_as_user_side():
+    breakdown = EnergyBreakdown({
+        "gateway:legacy-9w": 600.0,
+        "gateway:efficient-5w": 300.0,
+        "isp_modem": 50.0,
+    })
+    assert breakdown.user_side_j == pytest.approx(900.0)
+    assert breakdown.isp_side_j == pytest.approx(50.0)
+    assert breakdown.total_j == pytest.approx(950.0)
 
 
 def test_world_wide_savings_matches_paper_magnitude():

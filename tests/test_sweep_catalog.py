@@ -107,3 +107,71 @@ def test_canonical_excludes_label_only():
     assert a.canonical() == b.canonical()
     c = ScenarioSpec(label="one", num_clients=7, num_gateways=3)
     assert a.canonical() != c.canonical()
+
+
+# ----------------------------------------------------------------------
+# Fleet and churn integration (PR 3)
+# ----------------------------------------------------------------------
+def test_fleet_and_churn_families_are_registered():
+    assert len(family("mixed-fleet").expand()) == 3
+    assert len(family("gateway-churn").expand()) == 3
+    assert len(family("weekend-weekday").expand()) == 2
+    assert {spec.fleet for spec in family("mixed-fleet").expand()} == {
+        "legacy-efficient", "tri-mix", "efficient-only",
+    }
+    assert {spec.churn for spec in family("gateway-churn").expand()} == {
+        "midday-dropout", "evening-expansion", "subscriber-churn",
+    }
+
+
+def test_default_fleet_and_churn_keep_pre_fleet_digests():
+    """The homogeneous/static defaults are *omitted* from the canonical
+    payload, so digests of every pre-existing scenario stay valid."""
+    default = ScenarioSpec(label="x", num_clients=6, num_gateways=3)
+    canon = default.canonical()
+    assert "fleet" not in canon
+    assert "churn" not in canon
+    explicit = ScenarioSpec(
+        label="x", num_clients=6, num_gateways=3, fleet="homogeneous", churn="none"
+    )
+    assert explicit.canonical() == canon
+
+
+def test_fleet_and_churn_are_folded_into_the_digest():
+    base = ScenarioSpec(label="x", num_clients=6, num_gateways=3)
+    mixed = ScenarioSpec(
+        label="x", num_clients=6, num_gateways=3, fleet="legacy-efficient"
+    )
+    churned = ScenarioSpec(
+        label="x", num_clients=6, num_gateways=3, churn="midday-dropout"
+    )
+    assert "fleet" in mixed.canonical()
+    assert "churn" in churned.canonical()
+    canons = [base.canonical(), mixed.canonical(), churned.canonical()]
+    assert len({str(c) for c in canons}) == 3
+    # The churn payload is the materialised event list, so it depends on
+    # the population the pattern expands against (a quarter of 12 gateways
+    # fail instead of one of 3).
+    bigger = ScenarioSpec(
+        label="x", num_clients=6, num_gateways=12, churn="midday-dropout"
+    )
+    assert bigger.canonical()["churn"] != churned.canonical()["churn"]
+
+
+def test_fleet_spec_builds_a_scenario_with_the_profile_attached():
+    spec = family("mixed-fleet").expand()[0]
+    scenario = spec.build()
+    assert scenario.fleet is not None
+    assert scenario.fleet.name == spec.fleet
+    assert scenario.churn is None
+    churn_spec = family("gateway-churn").expand()[0]
+    churned = churn_spec.build()
+    assert churned.churn is not None
+    assert not churned.churn.is_empty
+
+
+def test_unknown_fleet_or_churn_is_rejected():
+    with pytest.raises(ValueError, match="fleet"):
+        ScenarioSpec(fleet="nope")
+    with pytest.raises(ValueError, match="churn"):
+        ScenarioSpec(churn="nope")
