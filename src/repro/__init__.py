@@ -26,12 +26,15 @@ from repro.core.schemes import (
     bh2_full_switch,
     bh2_kswitch,
     bh2_no_backup_kswitch,
+    bh2_watts,
     no_sleep,
     optimal,
+    optimal_watts,
     soi,
     soi_full_switch,
     soi_kswitch,
     standard_schemes,
+    watt_schemes,
 )
 from repro.power.models import AccessNetworkPowerModel, DEFAULT_POWER_MODEL
 from repro.simulation.runner import ExperimentRunner, SchemeComparison, run_scheme
@@ -56,8 +59,11 @@ __all__ = [
     "bh2_kswitch",
     "bh2_no_backup_kswitch",
     "bh2_full_switch",
+    "bh2_watts",
     "optimal",
+    "optimal_watts",
     "standard_schemes",
+    "watt_schemes",
     "AccessNetworkPowerModel",
     "DEFAULT_POWER_MODEL",
     "AccessNetworkSimulator",

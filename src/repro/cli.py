@@ -5,7 +5,10 @@ Commands
 
 ``trace``      generate a synthetic trace and print its aggregate statistics
 ``simulate``   run the scheme comparison and print the savings summary
+``schemes``    list every registered scheme and its behavioural axes
 ``sweep``      run the scenario-catalog sweep (cached, resumable)
+``sweep gc``   trim the sweep result store (dry run by default)
+``wattopt``    count-vs-watt objective gap of the watt-aware schemes
 ``fleet``      inspect gateway generations, fleet mixes and churn patterns
 ``figure``     regenerate the data behind one of the paper's figures
 ``crosstalk``  run the Fig. 14 crosstalk speedup experiment
@@ -114,6 +117,88 @@ def _add_sweep_parser(subparsers) -> None:
     )
     parser.add_argument("--json", action="store_true",
                         help="print the sweep result as JSON instead of tables")
+    sweep_sub = parser.add_subparsers(dest="sweep_command", metavar="[gc]")
+    gc_parser = sweep_sub.add_parser(
+        "gc",
+        help="trim the result store (dry run unless --apply)",
+        description="Garbage-collect the sweep result store, driven by its "
+        "manifest.jsonl: --keep-families removes records of every other "
+        "family, --max-age-days removes records older than N days, and "
+        "invalid tombstone entries (corrupt files, stale store versions) "
+        "are always removal candidates.  Dry run by default; pass --apply "
+        "to actually delete.",
+    )
+    gc_parser.add_argument(
+        "--out",
+        type=str,
+        default="sweep-results",
+        metavar="DIR",
+        help="result-store directory (default: ./sweep-results)",
+    )
+    gc_parser.add_argument(
+        "--keep-families",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="families to keep; records of any other family are removed",
+    )
+    gc_parser.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="remove records older than this many days (by file mtime)",
+    )
+    gc_parser.add_argument(
+        "--apply",
+        action="store_true",
+        help="actually delete (default: dry run, print what would go)",
+    )
+
+
+def _add_schemes_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "schemes",
+        help="list every registered scheme and its behavioural axes",
+        description="List the registered schemes with their sleep, "
+        "aggregation, switching and watt-awareness axes — the names "
+        "accepted by simulate/sweep --schemes, so a typo is "
+        "self-diagnosable.",
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="print the scheme table as JSON")
+
+
+def _add_wattopt_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "wattopt",
+        help="count-vs-watt objective gap of the watt-aware schemes",
+        description="Run (or resume from the result store) the watt-aware "
+        "schemes beside their count-minimising twins over the selected "
+        "scenario families and print the gateway energy each spent plus "
+        "the watts_saved_vs_count_kwh gap per scenario.",
+    )
+    parser.add_argument(
+        "--family",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scenario family to include (repeatable; default: watt-aware)",
+    )
+    parser.add_argument("--runs", type=int, default=1, help="repetitions per scheme")
+    parser.add_argument("--step", type=float, default=2.0, help="simulation step (s)")
+    parser.add_argument("--sample", type=float, default=60.0, help="metric sampling interval (s)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard the grid over this many processes")
+    parser.add_argument(
+        "--out",
+        type=str,
+        default="sweep-results",
+        metavar="DIR",
+        help="result-store directory shared with 'sweep' (default: ./sweep-results)",
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="print the gap rows as JSON instead of tables")
 
 
 def _add_fleet_parser(subparsers) -> None:
@@ -168,7 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_trace_parser(subparsers)
     _add_simulate_parser(subparsers)
+    _add_schemes_parser(subparsers)
     _add_sweep_parser(subparsers)
+    _add_wattopt_parser(subparsers)
     _add_fleet_parser(subparsers)
     _add_figure_parser(subparsers)
     _add_crosstalk_parser(subparsers)
@@ -235,26 +322,87 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
-    from repro import sweep as sweep_pkg
-    from repro.sweep import (
-        ResultStore,
-        SweepConfig,
-        family_names,
-        render_sweep,
-        run_sweep,
-        sweep_to_json,
-    )
-
-    if args.list_families:
-        rows = [
-            [name, len(sweep_pkg.family(name).expand()), sweep_pkg.family(name).description]
-            for name in family_names()
-        ]
-        print(report.format_table(["family", "scenarios", "description"], rows))
+def _cmd_schemes(args) -> int:
+    rows = [
+        {
+            "name": scheme.name,
+            "sleep": scheme.sleep_enabled,
+            "aggregation": scheme.aggregation.value,
+            "switching": scheme.switching.value,
+            "watt_aware": scheme.watt_aware,
+            "idealized": scheme.idealized_transitions,
+            "backup": scheme.bh2.backup,
+        }
+        for scheme in all_schemes().values()
+    ]
+    if args.json:
+        print(json.dumps(rows, indent=1))
         return 0
+    print(report.format_table(
+        ["scheme", "sleep", "aggregation", "switching", "watt-aware", "idealized", "backup"],
+        [
+            [
+                row["name"],
+                "yes" if row["sleep"] else "no",
+                row["aggregation"],
+                row["switching"],
+                "yes" if row["watt_aware"] else "no",
+                "yes" if row["idealized"] else "no",
+                row["backup"],
+            ]
+            for row in rows
+        ],
+    ))
+    print("\nuse these names with simulate/sweep --schemes NAME[,NAME...]")
+    return 0
+
+
+def _cmd_sweep_gc(args) -> int:
+    from repro.sweep import ResultStore
+
+    if args.max_age_days is not None and args.max_age_days < 0:
+        print(f"--max-age-days must be non-negative (got {args.max_age_days})",
+              file=sys.stderr)
+        return 2
+    store = ResultStore(args.out)
+    result = store.gc(
+        keep_families=args.keep_families,
+        max_age_days=args.max_age_days,
+        apply=args.apply,
+    )
+    if result.candidates:
+        rows = [
+            [
+                candidate.digest[:12],
+                candidate.family or "-",
+                candidate.label or "-",
+                candidate.scheme or "-",
+                f"{candidate.age_days:.1f}d" if candidate.age_days is not None else "-",
+                candidate.reason,
+            ]
+            for candidate in result.candidates
+        ]
+        print(report.format_table(
+            ["digest", "family", "scenario", "scheme", "age", "reason"], rows
+        ))
+        print()
+    mode = "applied" if result.applied else "dry run (pass --apply to delete)"
+    print(report.render_key_values({
+        "examined": result.examined,
+        "kept": result.kept,
+        "removable": len(result.candidates),
+        "removed": result.removed,
+        "mode": mode,
+    }, title="Sweep store GC"))
+    return 0
+
+
+def _validate_sweep_args(args, selected_families) -> Optional[int]:
+    """Shared sweep/wattopt flag validation; an exit code, or None when OK."""
+    from repro.sweep import family_names
+
     known = family_names()
-    for name in args.family or []:
+    for name in selected_families:
         if name not in known:
             print(f"unknown scenario family '{name}'; known families: {', '.join(known)}",
                   file=sys.stderr)
@@ -266,6 +414,74 @@ def _cmd_sweep(args) -> int:
     if args.workers is not None and args.workers <= 0:
         print(f"--workers must be positive (got {args.workers})", file=sys.stderr)
         return 2
+    return None
+
+
+def _cmd_wattopt(args) -> int:
+    from repro.core.schemes import watt_schemes
+    from repro.sweep import (
+        ResultStore,
+        SweepConfig,
+        generation_table,
+        run_sweep,
+        watt_gap_rows,
+        watt_gap_table,
+    )
+
+    selected = args.family or ["watt-aware"]
+    error = _validate_sweep_args(args, selected)
+    if error is not None:
+        return error
+    result = run_sweep(
+        family_names=selected,
+        schemes=watt_schemes(),
+        config=SweepConfig(
+            runs_per_scheme=args.runs, step_s=args.step, sample_interval_s=args.sample
+        ),
+        store=ResultStore(args.out),
+        workers=args.workers,
+    )
+    if args.json:
+        print(json.dumps(watt_gap_rows(result), indent=1))
+        return 0
+    gaps = watt_gap_table(result)
+    if gaps:
+        print("== count-vs-watt objective gap per scenario ==")
+        print(gaps)
+    else:
+        print("no watt-aware scheme pairs in the selected families")
+    generations = generation_table(result)
+    if generations:
+        print()
+        print("== per-generation gateway energy ==")
+        print(generations)
+    print(f"\nresult store: {args.out}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro import sweep as sweep_pkg
+    from repro.sweep import (
+        ResultStore,
+        SweepConfig,
+        family_names,
+        render_sweep,
+        run_sweep,
+        sweep_to_json,
+    )
+
+    if getattr(args, "sweep_command", None) == "gc":
+        return _cmd_sweep_gc(args)
+    if args.list_families:
+        rows = [
+            [name, len(sweep_pkg.family(name).expand()), sweep_pkg.family(name).description]
+            for name in family_names()
+        ]
+        print(report.format_table(["family", "scenarios", "description"], rows))
+        return 0
+    error = _validate_sweep_args(args, args.family or [])
+    if error is not None:
+        return error
     if args.schemes:
         schemes = _resolve_schemes(args.schemes)
         if schemes is None:
@@ -408,7 +624,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "trace": _cmd_trace,
         "simulate": _cmd_simulate,
+        "schemes": _cmd_schemes,
         "sweep": _cmd_sweep,
+        "wattopt": _cmd_wattopt,
         "fleet": _cmd_fleet,
         "figure": _cmd_figure,
         "crosstalk": _cmd_crosstalk,

@@ -207,15 +207,27 @@ class BH2Terminal:
         reachable_gateways: FrozenSet[int],
         config: Optional[BH2Config] = None,
         rng: Optional[np.random.Generator] = None,
+        watt_bias: Optional[Sequence[float]] = None,
     ):
+        """``watt_bias`` (watt-aware schemes, heterogeneous fleets only)
+        holds one positive preference multiplier per gateway — see
+        :meth:`repro.wattopt.cost.WattCostModel.bias` — applied to
+        candidate loads when hitch-hiking targets are drawn, so efficient
+        generations attract proportionally more terminals.  ``None`` (the
+        default, and the homogeneous fleet) keeps the paper's pure
+        load-proportional draw, bit for bit.
+        """
         if home_gateway not in reachable_gateways:
             raise ValueError("the home gateway must be reachable")
+        if watt_bias is not None and any(b <= 0 for b in watt_bias):
+            raise ValueError("watt_bias entries must be positive")
         self.client_id = client_id
         self.home_gateway = home_gateway
         self.reachable_gateways = frozenset(reachable_gateways)
         #: Tuple snapshot (same iteration order) for the hot decision path.
         self._reachable_seq = tuple(self.reachable_gateways)
         self.config = config or BH2Config()
+        self.watt_bias = list(watt_bias) if watt_bias is not None else None
         self._rng = rng if rng is not None else np.random.default_rng(client_id)
         #: The gateway the terminal currently directs new traffic to.
         self.current_gateway: int = home_gateway
@@ -295,8 +307,16 @@ class BH2Terminal:
         return preferred + fallback
 
     def _pick_proportional_to_load(self, candidates: List[GatewayObservation]) -> int:
-        """Randomly select a candidate with probability proportional to its load."""
-        loads = np.array([c.load for c in candidates], dtype=float)
+        """Randomly select a candidate with probability proportional to its load.
+
+        With a ``watt_bias`` the draw weights are ``load * bias`` instead,
+        tilting the choice toward efficient-generation gateways.
+        """
+        bias = self.watt_bias
+        if bias is None:
+            loads = np.array([c.load for c in candidates], dtype=float)
+        else:
+            loads = np.array([c.load * bias[c.gateway_id] for c in candidates], dtype=float)
         total = loads.sum()
         if total <= 0:
             index = int(self._rng.integers(len(candidates)))
@@ -460,8 +480,17 @@ class BH2Terminal:
         ``searchsorted`` against one uniform draw), which consumes exactly
         one ``random()`` from the stream — bit-identical to the real call
         but without its validation overhead; pinned by a regression test.
+
+        With a ``watt_bias`` the weights become ``load * bias`` (same
+        single draw from the RNG stream either way).
         """
-        load_array = np.array(loads, dtype=float)
+        bias = self.watt_bias
+        if bias is None:
+            load_array = np.array(loads, dtype=float)
+        else:
+            load_array = np.array(
+                [load * bias[g] for g, load in zip(ids, loads)], dtype=float
+            )
         total = load_array.sum()
         if total <= 0:
             index = int(self._rng.integers(len(ids)))

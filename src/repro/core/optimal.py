@@ -213,9 +213,10 @@ class GreedyAggregationSolver:
         load: Dict[int, float] = {g: 0.0 for g in problem.capacities_bps}
 
         demands = problem.demands_bps
+        selection_key = self._selection_key
         remaining = {u for u in users if need[u] > len(assignment[u])}
         while remaining:
-            best_gateway, best_covered = None, []
+            best_gateway, best_covered, best_key = None, [], 0
             # One demand-sort of the remaining users serves every candidate
             # gateway this round (same stable order as sorting per gateway).
             remaining_sorted = sorted(remaining, key=demands.__getitem__)
@@ -228,8 +229,9 @@ class GreedyAggregationSolver:
                 covered = self._coverable(
                     problem, gateway, remaining_sorted, assignment, gateway_users, load
                 )
-                if len(covered) > len(best_covered):
-                    best_gateway, best_covered = gateway, covered
+                key = selection_key(gateway, covered)
+                if key > best_key:
+                    best_gateway, best_covered, best_key = gateway, covered, key
             if best_gateway is None or not best_covered:
                 # No gateway can make progress (capacity exhausted or
                 # unreachable users); the remaining users keep partial coverage.
@@ -245,6 +247,24 @@ class GreedyAggregationSolver:
             online_gateways=frozenset(online),
             assignment={u: tuple(gws) for u, gws in assignment.items()},
         )
+
+    # ------------------------------------------------------------------
+    # Objective hooks (overridden by the watt-aware solver of
+    # repro.wattopt.solver; the defaults reproduce the count objective
+    # with comparisons bit-identical to the original inline code).
+    # ------------------------------------------------------------------
+    def _selection_key(self, gateway: int, covered: List[int]) -> float:
+        """Greedy score of opening ``gateway`` this round (higher wins)."""
+        return len(covered)
+
+    def _prune_order(
+        self,
+        problem: AggregationProblem,
+        online: Set[int],
+        assignment: Dict[int, List[int]],
+    ) -> List[int]:
+        """Order in which the pruning pass tries to drop gateways."""
+        return sorted(online, key=lambda g: sum(1 for a in assignment.values() if g in a))
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -272,15 +292,15 @@ class GreedyAggregationSolver:
                     budget -= demand
         return covered
 
-    @staticmethod
     def _prune(
+        self,
         problem: AggregationProblem,
         online: Set[int],
         assignment: Dict[int, List[int]],
         need: Dict[int, int],
     ) -> Tuple[Set[int], Dict[int, List[int]]]:
         """Drop gateways that became redundant after later picks."""
-        for gateway in sorted(online, key=lambda g: sum(1 for a in assignment.values() if g in a)):
+        for gateway in self._prune_order(problem, online, assignment):
             users_on_gateway = [u for u, gws in assignment.items() if gateway in gws]
             trial_online = online - {gateway}
             if not trial_online and users_on_gateway:

@@ -49,6 +49,12 @@ class SchemeConfig:
     #: The optimal scheme is an idealised upper bound: gateways wake and
     #: sleep instantaneously and flows migrate with zero downtime.
     idealized_transitions: bool = False
+    #: Watt-aware aggregation (repro.wattopt): the centralised solver
+    #: minimises marginal online watts instead of gateway count, and BH2
+    #: terminals weigh candidates by their generation's efficiency.  On
+    #: the homogeneous default fleet this is behaviourally identical to
+    #: the count objective (and omitted from sweep digests there).
+    watt_aware: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -59,6 +65,19 @@ class SchemeConfig:
     def with_name(self, name: str) -> "SchemeConfig":
         """A renamed copy (useful for ablation variants)."""
         return replace(self, name=name)
+
+    def canonical(self) -> Dict[str, object]:
+        """Digest-relevant scheme payload.
+
+        ``watt_aware=False`` is omitted so every pre-wattopt scheme digest
+        — and therefore every cached sweep store — stays valid.
+        """
+        from repro.sweep.store import canonicalize  # local: avoid a cycle
+
+        payload = dict(canonicalize(self))
+        if not payload.get("watt_aware"):
+            payload.pop("watt_aware", None)
+        return payload
 
 
 def no_sleep() -> SchemeConfig:
@@ -152,9 +171,61 @@ def optimal(backup: int = 0) -> SchemeConfig:
     )
 
 
+def optimal_watts(backup: int = 0) -> SchemeConfig:
+    """Watt-objective centralised aggregation (the watt twin of *Optimal*).
+
+    Identical to :func:`optimal` except the solver minimises the fleet's
+    marginal online watts instead of the online-gateway count.  On the
+    homogeneous default fleet the two objectives coincide and the
+    trajectories are bit-identical (enforced by tests).
+    """
+    return replace(optimal(backup=backup), name="optimal-watts", watt_aware=True)
+
+
+def bh2_watts(backup: int = 1) -> SchemeConfig:
+    """Efficiency-aware BH2 (the watt twin of *BH2+k-switch*).
+
+    Terminals still follow the BH2 thresholds, but among eligible online
+    candidates they weigh loads by the candidate generation's efficiency,
+    steering hitch-hikers toward low-watt hardware.  On the homogeneous
+    default fleet every weight is 1 and the scheme is bit-identical to
+    BH2+k-switch.
+    """
+    return replace(bh2_kswitch(backup=backup), name="bh2-watts", watt_aware=True)
+
+
+def optimal_watts_no_sleep() -> SchemeConfig:
+    """Control: watt-objective aggregation with sleeping disabled.
+
+    Gateways never power down, so consolidation cannot save gateway watts;
+    the pair (this, :func:`optimal_watts`) isolates how much of the watt
+    scheme's saving comes from sleeping versus routing.
+    """
+    return replace(
+        optimal_watts(),
+        name="optimal-watts/no-sleep",
+        sleep_enabled=False,
+        idealized_transitions=False,
+    )
+
+
+def bh2_watts_no_sleep() -> SchemeConfig:
+    """Control: efficiency-aware BH2 with sleeping disabled."""
+    return replace(bh2_watts(), name="bh2-watts/no-sleep", sleep_enabled=False)
+
+
 def standard_schemes() -> List[SchemeConfig]:
     """The four schemes of Fig. 6 plus the baseline, in plotting order."""
     return [no_sleep(), soi(), soi_kswitch(), bh2_kswitch(), optimal()]
+
+
+def watt_schemes() -> List[SchemeConfig]:
+    """The watt-aware schemes beside their count-minimising twins.
+
+    The order pairs each twin with its watt variant so sweep tables read
+    as direct comparisons; ``no-sleep`` anchors the absolute baseline.
+    """
+    return [no_sleep(), optimal(), optimal_watts(), bh2_kswitch(), bh2_watts()]
 
 
 def all_schemes() -> Dict[str, SchemeConfig]:
@@ -168,5 +239,9 @@ def all_schemes() -> Dict[str, SchemeConfig]:
         bh2_no_backup_kswitch(),
         bh2_full_switch(),
         optimal(),
+        optimal_watts(),
+        bh2_watts(),
+        optimal_watts_no_sleep(),
+        bh2_watts_no_sleep(),
     ]
     return {s.name: s for s in schemes}

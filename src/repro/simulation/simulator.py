@@ -62,6 +62,8 @@ from repro.power.energy import EnergyAccumulator, EnergyBreakdown
 from repro.power.models import AccessNetworkPowerModel, DEFAULT_POWER_MODEL
 from repro.topology.scenario import DslamConfig, Scenario
 from repro.traces.models import Flow
+from repro.wattopt.cost import WattCostModel
+from repro.wattopt.solver import WattGreedyAggregationSolver
 from repro.wireless.channel import WirelessChannel
 
 
@@ -339,6 +341,23 @@ class AccessNetworkSimulator:
         )
         self.scheduler = FlowScheduler(backhaul_bps=scenario.wireless.backhaul_bps)
 
+        # --- watt-aware aggregation (repro.wattopt) ---------------------
+        # Only a watt-aware scheme over an actually heterogeneous fleet
+        # builds a cost model: on the homogeneous default every marginal
+        # watt is equal, and skipping the machinery entirely keeps the
+        # watt schemes bit-identical to their count-minimising twins.
+        self._watt_cost_model: Optional[WattCostModel] = None
+        if scheme.watt_aware and self._fleet_hetero:
+            self._watt_cost_model = WattCostModel.from_fleet(
+                fleet, scenario.num_gateways, power_model
+            )
+        watt_bias = (
+            self._watt_cost_model.bias()
+            if self._watt_cost_model is not None
+            and scheme.aggregation is AggregationKind.BH2
+            else None
+        )
+
         # --- per-client routing state -----------------------------------
         self.selected_gateway: Dict[int, int] = dict(scenario.trace.home_gateway)
         self.fallback_gateway: Dict[int, Optional[int]] = {c: None for c in self.selected_gateway}
@@ -351,6 +370,7 @@ class AccessNetworkSimulator:
                     reachable_gateways=scenario.topology.reachable[client],
                     config=scheme.bh2,
                     rng=np.random.default_rng(self._rng.integers(2**31 - 1)),
+                    watt_bias=watt_bias,
                 )
         self._terminal_list: List[BH2Terminal] = list(self.terminals.values())
         self._decision_at = np.array(
@@ -365,7 +385,15 @@ class AccessNetworkSimulator:
         heapify(self._decision_heap)
         self._min_decision_at = self._decision_heap[0][0] if self._decision_heap else inf
         self._obs_view = GatewayObservationArray(scenario.num_gateways)
-        self._optimal_solver = GreedyAggregationSolver()
+        if (
+            self._watt_cost_model is not None
+            and scheme.aggregation is AggregationKind.OPTIMAL
+        ):
+            self._optimal_solver: GreedyAggregationSolver = WattGreedyAggregationSolver(
+                self._watt_cost_model
+            )
+        else:
+            self._optimal_solver = GreedyAggregationSolver()
         self._next_optimal_at = 0.0
         #: Gateways the last optimal solve decided to keep online (they stay
         #: powered until the next solve, even if they carry only backup load).

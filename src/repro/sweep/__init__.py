@@ -32,13 +32,23 @@ from repro.sweep.catalog import (
     register_family,
 )
 from repro.sweep.engine import SweepConfig, SweepResult, SweepTask, expand_tasks, run_sweep
-from repro.sweep.report import generation_table, render_sweep, sweep_to_json
-from repro.sweep.store import ResultStore, RunRecord, run_digest
+from repro.sweep.report import (
+    generation_table,
+    render_sweep,
+    sweep_to_json,
+    watt_gap_rows,
+    watt_gap_table,
+)
+from repro.sweep.store import GcCandidate, GcReport, ResultStore, RunRecord, run_digest
 
 __all__ = [
+    "GcCandidate",
+    "GcReport",
     "ResultStore",
     "RunRecord",
     "generation_table",
+    "watt_gap_rows",
+    "watt_gap_table",
     "ScenarioFamily",
     "ScenarioSpec",
     "SweepConfig",

@@ -205,6 +205,13 @@ class ScenarioFamily:
     #: Grid axes: ``(spec field name, values)`` pairs, expanded as a
     #: cartesian product in declaration order.
     grid: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+    #: Scheme names (keys of :func:`repro.core.schemes.all_schemes`) this
+    #: family is designed to compare.  Empty means "whatever the sweep
+    #: runs by default" (the Fig. 6 set); an explicit ``--schemes`` always
+    #: overrides.  Lets a family like ``watt-aware`` cross its scenarios
+    #: with the watt schemes *and* their count twins without every caller
+    #: having to spell the pairing out.
+    scheme_names: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         spec_fields = {f.name for f in fields(ScenarioSpec)}
@@ -213,6 +220,25 @@ class ScenarioFamily:
                 raise ValueError(f"grid axis {axis!r} is not a ScenarioSpec field")
             if not values:
                 raise ValueError(f"grid axis {axis!r} has no values")
+        if self.scheme_names:
+            from repro.core.schemes import all_schemes  # local: keep import light
+
+            known = all_schemes()
+            for scheme_name in self.scheme_names:
+                if scheme_name not in known:
+                    raise ValueError(
+                        f"unknown scheme {scheme_name!r} in family {self.name!r}; "
+                        f"known: {', '.join(known)}"
+                    )
+
+    def default_schemes(self):
+        """The family's scheme configs (None when it declares no preference)."""
+        if not self.scheme_names:
+            return None
+        from repro.core.schemes import all_schemes
+
+        known = all_schemes()
+        return [known[name] for name in self.scheme_names]
 
     def expand(self) -> List[ScenarioSpec]:
         """One labelled spec per grid point (just the base if no grid)."""
@@ -346,6 +372,16 @@ register_family(ScenarioFamily(
                 "shape.",
     base=ScenarioSpec(seed=2091),
     grid=(("profile", ("office", "weekend")),),
+))
+
+register_family(ScenarioFamily(
+    name="watt-aware",
+    description="Watt-objective schemes against their count-minimising "
+                "twins over mixed gateway generations: how many kWh the "
+                "count proxy leaves on the table once hardware differs.",
+    base=ScenarioSpec(num_clients=136, num_gateways=20, seed=2101),
+    grid=(("fleet", ("legacy-efficient", "tri-mix", "efficient-only")),),
+    scheme_names=("no-sleep", "Optimal", "optimal-watts", "BH2+k-switch", "bh2-watts"),
 ))
 
 register_family(ScenarioFamily(

@@ -82,6 +82,9 @@ def run_metrics(result: SimulationResult, duration_s: float) -> Dict[str, float]
         "isp_share_of_savings_percent": 100.0 * result.mean_isp_share_of_savings(),
     }
     metrics["dropped_flows"] = float(result.dropped_flows)
+    # Total gateway-side energy: the column the watt-aware report pairs
+    # across schemes to compute watts_saved_vs_count_kwh.
+    metrics["gateway_kwh"] = sum(result.generation_energy_j.values()) / 3.6e6
     generation_names = list(result.generation_energy_j)
     # The homogeneous default reports a single pseudo-generation named
     # "default"; real fleet profiles (mixed or uniform-but-non-default)
@@ -93,19 +96,44 @@ def run_metrics(result: SimulationResult, duration_s: float) -> Dict[str, float]
     return metrics
 
 
+def _dedupe_schemes(schemes: Sequence[SchemeConfig]) -> List[SchemeConfig]:
+    """Drop repeated scheme names (a duplicate must not inflate the grid)."""
+    unique: List[SchemeConfig] = []
+    seen = set()
+    for scheme in schemes:
+        if scheme.name not in seen:
+            seen.add(scheme.name)
+            unique.append(scheme)
+    return unique
+
+
 def expand_tasks(
     families: Sequence[ScenarioFamily],
-    schemes: Sequence[SchemeConfig],
+    schemes: Optional[Sequence[SchemeConfig]],
     config: SweepConfig,
 ) -> List[SweepTask]:
-    """The full grid in deterministic (family, spec, scheme, run) order."""
+    """The full grid in deterministic (family, spec, scheme, run) order.
+
+    ``schemes=None`` lets every family pick its own comparison set (its
+    declared ``scheme_names``, or the Fig. 6 standard set); an explicit
+    scheme list applies to every family.
+    """
+    explicit = _dedupe_schemes(schemes) if schemes is not None else None
+    standard = None
     tasks: List[SweepTask] = []
     for family_ in families:
+        family_schemes = explicit
+        if family_schemes is None:
+            family_schemes = family_.default_schemes()
+            if family_schemes is None:
+                if standard is None:
+                    standard = standard_schemes()
+                family_schemes = standard
         for spec in family_.expand():
             # canonical() materialises churn timelines and fleet mixes;
             # compute it once per spec, not once per scheme x repetition.
             spec_canonical = spec.canonical()
-            for scheme in schemes:
+            for scheme in family_schemes:
                 for run_index in range(config.runs_per_scheme):
                     seed = scheme_run_seed(spec.seed, run_index, scheme.name)
                     tasks.append(SweepTask(
@@ -231,9 +259,12 @@ def run_sweep(
 
     ``family_names`` selects registered families (all of them when
     omitted); ``families`` bypasses the registry with explicit family
-    objects.  With a ``store``, cached runs are served from disk and
-    fresh runs are persisted as they complete; ``use_cache=False`` forces
-    recomputation (results still overwrite the store).
+    objects.  ``schemes=None`` runs each family's own comparison set
+    (``scheme_names`` when declared, the Fig. 6 standard set otherwise);
+    an explicit list applies to every family.  With a ``store``, cached
+    runs are served from disk and fresh runs are persisted as they
+    complete; ``use_cache=False`` forces recomputation (results still
+    overwrite the store).
     """
     if workers is not None and workers <= 0:
         raise ValueError("workers must be positive")
@@ -249,15 +280,7 @@ def run_sweep(
     resolved = unique
     if not resolved:
         raise ValueError("no scenario families selected")
-    # Same for schemes: a repeated name must not inflate the grid.
-    scheme_list = list(schemes) if schemes is not None else standard_schemes()
-    unique_schemes: List[SchemeConfig] = []
-    seen_schemes = set()
-    for scheme in scheme_list:
-        if scheme.name not in seen_schemes:
-            seen_schemes.add(scheme.name)
-            unique_schemes.append(scheme)
-    tasks = expand_tasks(resolved, unique_schemes, config)
+    tasks = expand_tasks(resolved, schemes, config)
 
     records: Dict[str, RunRecord] = {}
     pending: List[SweepTask] = []

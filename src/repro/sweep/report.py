@@ -22,6 +22,13 @@ TABLE_METRICS = (
     ("mean_online_line_cards", "online cards"),
 )
 
+#: Watt-aware schemes and the count-minimising twins they are measured
+#: against in the objective-gap table.
+WATT_SCHEME_TWINS = {
+    "optimal-watts": "Optimal",
+    "bh2-watts": "BH2+k-switch",
+}
+
 
 def family_tables(result: SweepResult) -> Dict[str, str]:
     """One rendered table per family: scenario × scheme aggregate rows."""
@@ -67,6 +74,67 @@ def generation_table(result: SweepResult) -> str:
     return report.format_table(headers, table_rows)
 
 
+def watt_gap_rows(result: SweepResult) -> List[Dict[str, object]]:
+    """Count-vs-watt objective gap per scenario.
+
+    Pairs every watt-aware scheme's aggregate with its count-minimising
+    twin on the same scenario and reports the gateway energy both spent
+    plus ``watts_saved_vs_count_kwh`` — the kWh the count proxy left on
+    the table.  Scenarios whose records predate the ``gateway_kwh``
+    column (old stores) are skipped rather than guessed at.
+    """
+    by_scenario: Dict[tuple, Dict[str, Dict[str, object]]] = {}
+    order: List[tuple] = []
+    for row in result.aggregates():
+        key = (str(row["family"]), str(row["scenario"]))
+        if key not in by_scenario:
+            by_scenario[key] = {}
+            order.append(key)
+        by_scenario[key][str(row["scheme"])] = row
+    rows: List[Dict[str, object]] = []
+    for key in order:
+        schemes = by_scenario[key]
+        for watt_name, twin_name in WATT_SCHEME_TWINS.items():
+            watt_row = schemes.get(watt_name)
+            twin_row = schemes.get(twin_name)
+            if watt_row is None or twin_row is None:
+                continue
+            if "gateway_kwh" not in watt_row or "gateway_kwh" not in twin_row:
+                continue
+            count_kwh = float(twin_row["gateway_kwh"])
+            watt_kwh = float(watt_row["gateway_kwh"])
+            rows.append({
+                "family": key[0],
+                "scenario": key[1],
+                "watt_scheme": watt_name,
+                "count_scheme": twin_name,
+                "count_gateway_kwh": count_kwh,
+                "watt_gateway_kwh": watt_kwh,
+                "watts_saved_vs_count_kwh": count_kwh - watt_kwh,
+            })
+    return rows
+
+
+def watt_gap_table(result: SweepResult) -> str:
+    """Rendered count-vs-watt gap table (empty string when inapplicable)."""
+    rows = watt_gap_rows(result)
+    if not rows:
+        return ""
+    headers = [
+        "scenario", "watt scheme", "count twin",
+        "count gw kWh", "watt gw kWh", "watts_saved_vs_count_kwh",
+    ]
+    # kWh gaps on small scenarios are thousandths: keep four decimals.
+    return report.format_table(headers, [
+        [
+            row["scenario"], row["watt_scheme"], row["count_scheme"],
+            row["count_gateway_kwh"], row["watt_gateway_kwh"],
+            row["watts_saved_vs_count_kwh"],
+        ]
+        for row in rows
+    ], precision=4)
+
+
 def overview_table(result: SweepResult) -> str:
     """Family × scheme overview: savings (vs. the always-on power baseline)
     averaged over a family's scenarios."""
@@ -98,6 +166,11 @@ def render_sweep(result: SweepResult) -> str:
         blocks.append("== per-generation gateway energy (mixed fleets) ==")
         blocks.append(generations)
         blocks.append("")
+    watt_gaps = watt_gap_table(result)
+    if watt_gaps:
+        blocks.append("== count-vs-watt objective gap (watt-aware schemes) ==")
+        blocks.append(watt_gaps)
+        blocks.append("")
     blocks.append("== cross-family overview (savings vs. always-on baseline) ==")
     blocks.append(overview_table(result))
     blocks.append("")
@@ -111,9 +184,10 @@ def render_sweep(result: SweepResult) -> str:
 
 
 def sweep_to_json(result: SweepResult) -> str:
-    """JSON export: aggregates, per-run records and cache accounting."""
+    """JSON export: aggregates, watt gaps, per-run records and accounting."""
     payload = {
         "aggregates": result.aggregates(),
+        "watt_gaps": watt_gap_rows(result),
         "runs": [
             {
                 "digest": task.digest,

@@ -22,9 +22,10 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 #: Bump when the meaning of stored metrics (or anything the digest does
 #: not capture) changes; old records then simply stop matching.
@@ -66,11 +67,15 @@ def run_digest(
     ``spec_canonical`` lets callers expanding many (scheme, repetition)
     cells of one spec pay for ``spec.canonical()`` — which materialises
     churn timelines and fleet mixes — once instead of per cell.
+
+    Schemes with their own ``canonical()`` (i.e. :class:`SchemeConfig`)
+    control their digest payload — default-valued additions such as
+    ``watt_aware=False`` are omitted so old stores keep their hits.
     """
     payload = {
         "store_version": STORE_VERSION,
         "scenario": spec_canonical if spec_canonical is not None else spec.canonical(),
-        "scheme": canonicalize(scheme),
+        "scheme": scheme.canonical() if hasattr(scheme, "canonical") else canonicalize(scheme),
         "seed": seed,
         "step_s": step_s,
         "sample_interval_s": sample_interval_s,
@@ -99,6 +104,32 @@ class RunRecord:
     def from_json(cls, text: str) -> "RunRecord":
         payload = json.loads(text)
         return cls(**payload)
+
+
+@dataclass(frozen=True)
+class GcCandidate:
+    """One record the garbage collector would (or did) remove."""
+
+    digest: str
+    reason: str
+    family: str = ""
+    label: str = ""
+    scheme: str = ""
+    age_days: Optional[float] = None
+
+
+@dataclass
+class GcReport:
+    """Outcome of one :meth:`ResultStore.gc` pass."""
+
+    examined: int
+    candidates: List[GcCandidate]
+    applied: bool = False
+    removed: int = 0
+
+    @property
+    def kept(self) -> int:
+        return self.examined - len(self.candidates)
 
 
 class ResultStore:
@@ -283,6 +314,82 @@ class ResultStore:
             raise
         self._append_manifest(record)
         return path
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def gc(
+        self,
+        keep_families: Optional[Sequence[str]] = None,
+        max_age_days: Optional[float] = None,
+        now: Optional[float] = None,
+        apply: bool = False,
+    ) -> GcReport:
+        """Trim the store, driven by the manifest.  Dry run unless ``apply``.
+
+        Removal rules (combined with *or*):
+
+        * ``keep_families`` — records of any *other* family are removed;
+        * ``max_age_days`` — records whose file is older (by mtime) are
+          removed, whatever their family;
+        * ``invalid`` manifest tombstones (corrupt files, or leftovers of
+          a ``STORE_VERSION`` bump that can never be cache hits again) are
+          always removal candidates, even with no rule given.
+
+        A dry run (the default) touches nothing — it only reports what an
+        ``apply`` pass would delete.  An ``apply`` pass unlinks the record
+        files and rebuilds the manifest atomically, so a crash mid-GC
+        leaves at worst a stale manifest that the next cold open rebuilds
+        (tombstone-safe: no record can be half-deleted).
+        """
+        if max_age_days is not None and max_age_days < 0:
+            raise ValueError("max_age_days must be non-negative")
+        keep = set(keep_families) if keep_families is not None else None
+        clock = time.time() if now is None else now
+        entries = self.manifest()
+        candidates: List[GcCandidate] = []
+        for digest in sorted(entries):
+            summary = entries[digest]
+            path = self.path_for(digest)
+            age_days: Optional[float] = None
+            try:
+                age_days = max(0.0, clock - path.stat().st_mtime) / 86400.0
+            except OSError:
+                pass  # already gone: the rebuild below reconciles the manifest
+            if summary.get("invalid"):
+                candidates.append(GcCandidate(
+                    digest=digest, reason="invalid record (tombstone)",
+                    age_days=age_days,
+                ))
+                continue
+            family = str(summary.get("family", ""))
+            label = str(summary.get("label", ""))
+            scheme = str(summary.get("scheme", ""))
+            if keep is not None and family not in keep:
+                candidates.append(GcCandidate(
+                    digest=digest, reason=f"family {family!r} not kept",
+                    family=family, label=label, scheme=scheme, age_days=age_days,
+                ))
+            elif (
+                max_age_days is not None
+                and age_days is not None
+                and age_days > max_age_days
+            ):
+                candidates.append(GcCandidate(
+                    digest=digest,
+                    reason=f"older than {max_age_days:g} days",
+                    family=family, label=label, scheme=scheme, age_days=age_days,
+                ))
+        report = GcReport(examined=len(entries), candidates=candidates, applied=apply)
+        if apply and candidates:
+            for candidate in candidates:
+                try:
+                    os.unlink(self.path_for(candidate.digest))
+                    report.removed += 1
+                except OSError:
+                    pass  # concurrent removal: the manifest rebuild reconciles
+            self.rebuild_manifest()
+        return report
 
     def digests(self) -> List[str]:
         """Digests of every complete record currently in the store."""

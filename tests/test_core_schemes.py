@@ -49,7 +49,7 @@ def test_standard_schemes_cover_figure6():
 
 def test_all_schemes_unique_names():
     schemes = all_schemes()
-    assert len(schemes) == 8
+    assert len(schemes) == 12
     assert all(isinstance(s, SchemeConfig) for s in schemes.values())
 
 
