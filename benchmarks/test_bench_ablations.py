@@ -1,7 +1,5 @@
 """Ablation benches for the design choices called out in DESIGN.md."""
 
-import pytest
-
 from repro.access.kswitch import expected_sleeping_cards
 from repro.core.bh2 import BH2Config
 from repro.core.schemes import bh2_kswitch

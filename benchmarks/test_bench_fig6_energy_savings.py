@@ -1,7 +1,5 @@
 """Fig. 6: energy savings vs. no-sleep over the day, per scheme."""
 
-import numpy as np
-
 from repro.analysis import figures
 from benchmarks.conftest import print_series
 

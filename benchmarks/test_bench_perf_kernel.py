@@ -98,6 +98,9 @@ def test_bench_perf_kernel(bench_scenario):
 
     aggregate_speedup = total_reference / total_new
     payload = {
+        # Consumed by the perf regression baseline (repro.regress): bump
+        # when the payload layout changes so stale baselines fail loudly.
+        "schema_version": 1,
         "benchmark": {
             "num_clients": BENCH_CLIENTS,
             "num_gateways": BENCH_GATEWAYS,

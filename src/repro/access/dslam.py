@@ -20,7 +20,7 @@ Three switching modes are modelled:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.access.kswitch import KSwitchBank

@@ -10,7 +10,6 @@ back (boot plus DSL re-synchronisation).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Deque, Optional, Tuple
 
 from repro.access.soi import SoIConfig

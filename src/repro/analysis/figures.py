@@ -10,10 +10,8 @@ setup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
 
 from repro.access.kswitch import (
     card_sleep_probability_exact,
@@ -22,14 +20,7 @@ from repro.access.kswitch import (
 )
 from repro.core.schemes import (
     SchemeConfig,
-    bh2_full_switch,
     bh2_kswitch,
-    bh2_no_backup_kswitch,
-    no_sleep,
-    optimal,
-    soi,
-    soi_full_switch,
-    soi_kswitch,
     standard_schemes,
 )
 from repro.crosstalk.attenuation import AttenuationSynthesizer

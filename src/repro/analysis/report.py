@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], precision: int = 2) -> str:
@@ -23,6 +23,28 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], preci
     ]
     for row in rendered_rows:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                          precision: int = 2) -> str:
+    """Render rows as a GitHub-flavoured markdown table.
+
+    Used by the CI regression gate to append summaries to
+    ``$GITHUB_STEP_SUMMARY``; cells are pipe-escaped so metric names and
+    details cannot break the table.
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value).replace("|", "\\|")
+
+    lines = [
+        "| " + " | ".join(fmt(h) for h in headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(fmt(cell) for cell in row) + " |")
     return "\n".join(lines)
 
 

@@ -8,6 +8,7 @@ Commands
 ``schemes``    list every registered scheme and its behavioural axes
 ``sweep``      run the scenario-catalog sweep (cached, resumable)
 ``sweep gc``   trim the sweep result store (dry run by default)
+``regress``    check/update committed metric baselines and Pareto fronts
 ``wattopt``    count-vs-watt objective gap of the watt-aware schemes
 ``fleet``      inspect gateway generations, fleet mixes and churn patterns
 ``figure``     regenerate the data behind one of the paper's figures
@@ -156,6 +157,108 @@ def _add_sweep_parser(subparsers) -> None:
     )
 
 
+def _add_regress_shared(parser, default_families_help: str) -> None:
+    """Flags shared by every ``regress`` subcommand."""
+    parser.add_argument(
+        "--family",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=f"scenario family to cover (repeatable; default: {default_families_help})",
+    )
+    parser.add_argument("--runs", type=int, default=1, help="repetitions per scheme")
+    parser.add_argument("--step", type=float, default=2.0, help="simulation step (s)")
+    parser.add_argument("--sample", type=float, default=60.0,
+                        help="metric sampling interval (s)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="shard the sweep over this many processes")
+    parser.add_argument(
+        "--out",
+        type=str,
+        default="sweep-results",
+        metavar="DIR",
+        help="result-store directory shared with 'sweep' (default: ./sweep-results)",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=str,
+        default="baselines",
+        metavar="DIR",
+        help="committed baseline directory (default: ./baselines)",
+    )
+
+
+def _add_regress_parser(subparsers) -> None:
+    from repro.regress.baseline import DEFAULT_REGRESS_FAMILIES
+
+    default_families = ", ".join(DEFAULT_REGRESS_FAMILIES)
+    parser = subparsers.add_parser(
+        "regress",
+        help="check/update committed metric baselines and Pareto fronts",
+        description="The regression gate: run (or resume from the result "
+        "store) the smoke-scale scenario families, diff every metric cell "
+        "and the cross-family Pareto-front membership against the "
+        "committed baselines/ files, and exit non-zero on regression. "
+        "'update' re-exports the committed files after an intentional "
+        "metric change; 'pareto' prints/exports the fronts.",
+    )
+    regress_sub = parser.add_subparsers(
+        dest="regress_command", required=True, metavar="check|update|pareto"
+    )
+
+    check = regress_sub.add_parser(
+        "check",
+        help="diff a fresh run against the committed baselines (gate)",
+        description="Exit 0 when every cell is identical / within "
+        "tolerance / improved / new; exit 1 naming the offending cells "
+        "when any metric regressed, a committed cell went missing, or a "
+        "committed Pareto-front member fell off the front.",
+    )
+    _add_regress_shared(check, default_families)
+    check.add_argument("--perf", type=str, default=None, metavar="BENCH_JSON",
+                       help="also diff this BENCH_perf.json against baselines/perf.json")
+    check.add_argument("--no-families", action="store_true",
+                       help="skip the sweep-family metric checks")
+    check.add_argument("--no-pareto", action="store_true",
+                       help="skip the Pareto-front membership check")
+    check.add_argument("--strict", action="store_true",
+                       help="treat 'improved' cells as gate failures too "
+                       "(forces baselines to be updated in the same PR)")
+    check.add_argument("--report", type=str, default=None, metavar="PATH",
+                       help="write the machine-readable JSON report here")
+    check.add_argument("--summary", type=str, default=None, metavar="PATH",
+                       help="append a markdown summary here (GITHUB_STEP_SUMMARY)")
+    check.add_argument("--verbose", action="store_true",
+                       help="tabulate identical/within-tolerance cells too")
+    check.add_argument("--json", action="store_true",
+                       help="print the machine-readable report as JSON")
+
+    update = regress_sub.add_parser(
+        "update",
+        help="re-export the committed baselines from a fresh run",
+        description="Run (or resume) the selected families and rewrite "
+        "baselines/<family>.json plus baselines/pareto.json; with --perf, "
+        "also rewrite baselines/perf.json from a BENCH_perf.json.  The "
+        "diff of baselines/ is the reviewable record of the metric change.",
+    )
+    _add_regress_shared(update, default_families)
+    update.add_argument("--perf", type=str, default=None, metavar="BENCH_JSON",
+                        help="also re-export baselines/perf.json from this file")
+
+    pareto = regress_sub.add_parser(
+        "pareto",
+        help="compute and print/export the cross-family Pareto fronts",
+        description="Compute the savings-vs-peak-online and "
+        "watt-energy-vs-served fronts over the selected families and "
+        "print every point with its front membership.",
+    )
+    _add_regress_shared(pareto, default_families)
+    pareto.add_argument("--export", type=str, default=None, metavar="PATH",
+                        help="write the fronts payload as JSON here")
+    pareto.add_argument("--json", action="store_true",
+                        help="print the fronts payload as JSON")
+
+
 def _add_schemes_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "schemes",
@@ -199,6 +302,9 @@ def _add_wattopt_parser(subparsers) -> None:
     )
     parser.add_argument("--json", action="store_true",
                         help="print the gap rows as JSON instead of tables")
+    parser.add_argument("--front", action="store_true",
+                        help="also print the watt Pareto front "
+                        "(gateway kWh vs. served demand)")
 
 
 def _add_fleet_parser(subparsers) -> None:
@@ -255,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_simulate_parser(subparsers)
     _add_schemes_parser(subparsers)
     _add_sweep_parser(subparsers)
+    _add_regress_parser(subparsers)
     _add_wattopt_parser(subparsers)
     _add_fleet_parser(subparsers)
     _add_figure_parser(subparsers)
@@ -455,6 +562,27 @@ def _cmd_wattopt(args) -> int:
         print()
         print("== per-generation gateway energy ==")
         print(generations)
+    if args.front:
+        from repro.wattopt.front import watt_front_rows
+
+        rows = watt_front_rows(result.aggregates())
+        print()
+        print("== watt Pareto front (min gateway kWh, max served demand) ==")
+        if rows:
+            print(report.format_table(
+                ["point", "gateway kWh", "served GB", "status"],
+                [
+                    [
+                        row["point"], row["gateway_kwh"], row["served_demand_gb"],
+                        "front" if row["on_front"] else "dominated",
+                    ]
+                    for row in rows
+                ],
+                precision=4,
+            ))
+        else:
+            print("(no rows carry gateway_kwh + served_demand_gb; "
+                  "refresh old records via 'repro-access sweep --no-resume')")
     print(f"\nresult store: {args.out}")
     return 0
 
@@ -504,6 +632,111 @@ def _cmd_sweep(args) -> int:
         print(render_sweep(result))
         print(f"\nresult store: {args.out}")
     return 0
+
+
+def _load_bench_payload(path: str):
+    """Parse a BENCH_perf.json; ``(payload, None)`` or ``(None, message)``."""
+    try:
+        with open(path) as handle:
+            return json.load(handle), None
+    except (OSError, ValueError) as error:
+        return None, f"cannot read --perf file {path!r}: {error}"
+
+
+def _cmd_regress(args) -> int:
+    from repro.regress import runner as regress_runner
+    from repro.sweep import ResultStore, SweepConfig
+
+    families = args.family or regress_runner.default_family_names()
+    error = _validate_sweep_args(args, families)
+    if error is not None:
+        return error
+    config = SweepConfig(
+        runs_per_scheme=args.runs, step_s=args.step, sample_interval_s=args.sample
+    )
+
+    def sweep():
+        return regress_runner.run_regress_sweep(
+            families, config, ResultStore(args.out), workers=args.workers
+        )
+
+    bench_payload = None
+    if getattr(args, "perf", None):
+        bench_payload, perf_error = _load_bench_payload(args.perf)
+        if perf_error is not None:
+            print(perf_error, file=sys.stderr)
+            return 2
+
+    if args.regress_command == "update":
+        result = sweep()
+        written = regress_runner.update_baselines(
+            result, families, args.baselines, config
+        )
+        if bench_payload is not None:
+            written.append(regress_runner.update_perf(bench_payload, args.baselines))
+        for path in written:
+            print(f"wrote {path}")
+        print(f"\ncommit the baselines/ diff to adopt the new values "
+              f"(cache hits: {result.cache_hits}/{result.total_runs})")
+        return 0
+
+    if args.regress_command == "pareto":
+        from repro.regress.pareto import fronts_payload
+
+        result = sweep()
+        payload = fronts_payload(result.aggregates(), families)
+        if args.export:
+            from pathlib import Path as _Path
+
+            _Path(args.export).write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n"
+            )
+            print(f"wrote {args.export}", file=sys.stderr)
+        if args.json:
+            print(json.dumps(payload, indent=1, sort_keys=True))
+        else:
+            print(regress_runner.render_fronts(payload))
+        return 0
+
+    # check
+    from repro.regress.compare import RegressReport
+
+    if args.no_families and args.no_pareto and not args.perf:
+        print("nothing to check: --no-families --no-pareto and no --perf",
+              file=sys.stderr)
+        return 2
+    report_ = RegressReport(strict=args.strict)
+    if not (args.no_families and args.no_pareto):
+        result = sweep()
+        if not args.no_families:
+            report_.baselines.extend(families)
+            report_.extend(regress_runner.check_families(
+                result, families, args.baselines, config
+            ))
+        if not args.no_pareto:
+            report_.baselines.append(regress_runner.PARETO_BASELINE_NAME)
+            report_.extend(regress_runner.check_pareto(
+                result, families, args.baselines
+            ))
+    if bench_payload is not None:
+        report_.baselines.append("perf")
+        report_.extend(regress_runner.check_perf(bench_payload, args.baselines))
+    if args.report:
+        from pathlib import Path as _Path
+
+        _Path(args.report).write_text(
+            json.dumps(report_.to_payload(), indent=1, sort_keys=True) + "\n"
+        )
+    if args.summary:
+        with open(args.summary, "a") as handle:
+            handle.write(regress_runner.render_markdown_summary(
+                report_, bench_payload=bench_payload
+            ))
+    if args.json:
+        print(json.dumps(report_.to_payload(), indent=1, sort_keys=True))
+    else:
+        print(regress_runner.render_report(report_, verbose=args.verbose))
+    return 0 if report_.ok else 1
 
 
 def _cmd_fleet(args) -> int:
@@ -626,6 +859,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "schemes": _cmd_schemes,
         "sweep": _cmd_sweep,
+        "regress": _cmd_regress,
         "wattopt": _cmd_wattopt,
         "fleet": _cmd_fleet,
         "figure": _cmd_figure,

@@ -12,8 +12,8 @@ off and every remaining line's SNR — hence its synchronised rate — rises.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set
 
 import numpy as np
 

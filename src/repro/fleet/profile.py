@@ -19,7 +19,7 @@ exactly (the simulator keeps its bit-identical fast path for it).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.schemes import SchemeConfig, no_sleep, soi
+from repro.core.schemes import SchemeConfig, no_sleep
 from repro.power.models import AccessNetworkPowerModel, DEFAULT_POWER_MODEL
 from repro.simulation.metrics import average_timeseries
 from repro.simulation.simulator import AccessNetworkSimulator, SimulationResult

@@ -38,7 +38,7 @@ from collections.abc import Sequence as _SequenceABC
 from dataclasses import dataclass, field
 from heapq import heapify, heappop, heappush
 from math import inf, isfinite
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, fields, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.fleet.churn import CHURN_PATTERNS, ChurnTimeline, build_churn
 from repro.fleet.profile import FLEETS, HOMOGENEOUS, FleetProfile
@@ -388,4 +388,23 @@ register_family(ScenarioFamily(
     name="smoke",
     description="Tiny half-hour deployment for CI smoke runs and tests.",
     base=ScenarioSpec(num_clients=12, num_gateways=4, duration_s=1800.0, seed=71),
+))
+
+register_family(ScenarioFamily(
+    name="smoke-watt",
+    description="Smoke-scale mixed fleet crossing the watt-objective "
+                "schemes with their count twins, so the CI regression "
+                "gate covers the watt metrics without a full sweep.  Four "
+                "hours (unlike smoke's empty half hour) so flows actually "
+                "complete and the served-demand axis of the watt Pareto "
+                "front is non-degenerate.",
+    base=ScenarioSpec(
+        label="smoke-watt",
+        num_clients=12,
+        num_gateways=4,
+        duration_s=14400.0,
+        seed=73,
+        fleet="tri-mix",
+    ),
+    scheme_names=("no-sleep", "Optimal", "optimal-watts", "BH2+k-switch", "bh2-watts"),
 ))

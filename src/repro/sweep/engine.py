@@ -82,6 +82,14 @@ def run_metrics(result: SimulationResult, duration_s: float) -> Dict[str, float]
         "isp_share_of_savings_percent": 100.0 * result.mean_isp_share_of_savings(),
     }
     metrics["dropped_flows"] = float(result.dropped_flows)
+    # Served user demand: completed flows and the bytes they delivered.
+    # These are the y axis of the watt Pareto front (gateway kWh spent
+    # vs. demand served) and the explicit "user demand stays served"
+    # claim of the regression baselines.
+    metrics["served_flows"] = float(len(result.flow_records))
+    metrics["served_demand_gb"] = (
+        sum(record.size_bytes for record in result.flow_records) / 1e9
+    )
     # Total gateway-side energy: the column the watt-aware report pairs
     # across schemes to compute watts_saved_vs_count_kwh.
     metrics["gateway_kwh"] = sum(result.generation_energy_j.values()) / 3.6e6

@@ -14,7 +14,7 @@ A :class:`Scenario` bundles everything the simulator needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 

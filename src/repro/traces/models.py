@@ -9,7 +9,7 @@ secondary representation for the inter-packet-gap analysis of Fig. 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, List
 
 SECONDS_PER_DAY = 24 * 3600.0
 

@@ -21,6 +21,7 @@ Scheme wiring (``optimal-watts``, ``bh2-watts``, …) lives in
 """
 
 from repro.wattopt.cost import WattCostModel, scenario_cost_model
+from repro.wattopt.front import WATT_FRONT, watt_front_rows
 from repro.wattopt.solver import (
     ExactWattAggregationSolver,
     WattGreedyAggregationSolver,
@@ -30,9 +31,11 @@ from repro.wattopt.solver import (
 
 __all__ = [
     "ExactWattAggregationSolver",
+    "WATT_FRONT",
     "WattCostModel",
     "WattGreedyAggregationSolver",
     "count_vs_watt_gap",
     "scenario_cost_model",
+    "watt_front_rows",
     "watt_objective",
 ]

@@ -1,0 +1,49 @@
+"""The watt Pareto frontier: gateway energy spent vs. user demand served.
+
+The watt-aware schemes of PR 4 claim to spend strictly fewer gateway kWh
+than their count-minimising twins *without giving up served demand*.
+This module states that claim as a two-axis frontier — minimize
+``gateway_kwh``, maximize ``served_demand_gb`` — consumed by
+:mod:`repro.regress.pareto` (front membership is committed in
+``baselines/pareto.json``, so a watt scheme becoming dominated is a
+detectable regression) and rendered by ``repro-access wattopt --front``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+from repro.regress.pareto import FrontSpec, front_points, pareto_front
+
+#: Minimize gateway-side energy while maximizing the demand delivered.
+WATT_FRONT = FrontSpec(
+    name="watt-energy-vs-served",
+    x_metric="gateway_kwh",
+    x_goal="min",
+    y_metric="served_demand_gb",
+    y_goal="max",
+    description="gateway energy spent against the user demand delivered "
+                "(the watt-objective frontier)",
+)
+
+
+def watt_front_rows(
+    aggregate_rows: Sequence[Mapping[str, object]],
+) -> List[Mapping[str, object]]:
+    """Front-annotated rows for the watt frontier over sweep aggregates.
+
+    One row per aggregate carrying both axis metrics, with ``on_front``
+    marking the non-dominated designs.  Rows from stores that predate the
+    ``served_demand_gb`` column are skipped, never guessed at.
+    """
+    points = front_points(aggregate_rows, WATT_FRONT)
+    members = set(pareto_front(points, WATT_FRONT))
+    rows: List[Mapping[str, object]] = []
+    for key, (kwh, served_gb) in sorted(points.items()):
+        rows.append({
+            "point": key,
+            "gateway_kwh": kwh,
+            "served_demand_gb": served_gb,
+            "on_front": key in members,
+        })
+    return rows

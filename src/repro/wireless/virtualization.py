@@ -10,8 +10,8 @@ frames and estimate their load.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,6 @@ spreads).  The in-simulator shortcut paths of the scheduler must agree with
 the reference bit for bit, because flow service derives from them.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

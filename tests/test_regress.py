@@ -1,0 +1,459 @@
+"""The regression gate: baselines, classification, Pareto fronts, CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.regress.baseline import (
+    Baseline,
+    MetricEntry,
+    metric_direction,
+    perf_baseline_from_bench,
+    perf_cells_from_bench,
+)
+from repro.regress.compare import classify, compare_cells, compare_config
+from repro.regress.pareto import (
+    FrontSpec,
+    compare_fronts,
+    front_points,
+    pareto_front,
+)
+from repro.wattopt.front import WATT_FRONT, watt_front_rows
+
+
+# ----------------------------------------------------------------------
+# Classification
+# ----------------------------------------------------------------------
+def test_exact_entry_identical_and_regressed():
+    entry = MetricEntry(value=10.0, kind="exact", direction="higher")
+    assert classify(entry, 10.0) == "identical"
+    assert classify(entry, 9.0) == "regressed"
+    assert classify(entry, 11.0) == "improved"
+
+
+def test_exact_entry_lower_is_better():
+    entry = MetricEntry(value=5.0, kind="exact", direction="lower")
+    assert classify(entry, 4.0) == "improved"
+    assert classify(entry, 6.0) == "regressed"
+
+
+def test_exact_entry_no_direction_any_change_regresses():
+    entry = MetricEntry(value=5.0, kind="exact", direction="none")
+    assert classify(entry, 5.0) == "identical"
+    assert classify(entry, 4.0) == "regressed"
+    assert classify(entry, 6.0) == "regressed"
+
+
+def test_tolerance_entry_band_and_escape():
+    entry = MetricEntry(
+        value=100.0, kind="tolerance", rel_tol=0.10, direction="higher"
+    )
+    assert classify(entry, 100.0) == "identical"
+    assert classify(entry, 95.0) == "within-tolerance"
+    assert classify(entry, 110.0) == "within-tolerance"
+    assert classify(entry, 89.0) == "regressed"
+    assert classify(entry, 111.0) == "improved"
+
+
+def test_tolerance_band_uses_max_of_rel_and_abs():
+    entry = MetricEntry(
+        value=0.0, kind="tolerance", rel_tol=0.5, abs_tol=1e-6, direction="lower"
+    )
+    # rel_tol * |0.0| = 0, so the absolute floor is the band.
+    assert entry.band() == 1e-6
+    assert classify(entry, 5e-7) == "within-tolerance"
+    assert classify(entry, 2e-6) == "regressed"
+
+
+def test_metric_entry_validation():
+    with pytest.raises(ValueError):
+        MetricEntry(value=1.0, kind="fuzzy")
+    with pytest.raises(ValueError):
+        MetricEntry(value=1.0, direction="sideways")
+    with pytest.raises(ValueError):
+        MetricEntry(value=1.0, kind="tolerance", rel_tol=-0.1)
+
+
+def test_metric_direction_policy():
+    assert metric_direction("mean_savings_percent") == "higher"
+    assert metric_direction("gateway_kwh") == "lower"
+    assert metric_direction("gen:legacy-9w_kwh") == "lower"
+    assert metric_direction("served_demand_gb") == "higher"
+    assert metric_direction("steps_kernel") == "none"
+
+
+# ----------------------------------------------------------------------
+# Cell comparison
+# ----------------------------------------------------------------------
+def _baseline(cells):
+    return Baseline(name="test", cells=cells)
+
+
+def test_compare_cells_new_and_missing():
+    baseline = _baseline({
+        "a|x": {"m": MetricEntry(value=1.0)},
+        "gone|x": {"m": MetricEntry(value=2.0)},
+    })
+    observed = {"a|x": {"m": 1.0, "extra": 9.0}, "brand|new": {"m": 3.0}}
+    diffs = {(d.cell, d.metric): d.status for d in compare_cells(baseline, observed)}
+    assert diffs[("a|x", "m")] == "identical"
+    assert diffs[("a|x", "extra")] == "new"
+    assert diffs[("brand|new", "*")] == "new"
+    assert diffs[("gone|x", "*")] == "missing"
+
+
+def test_compare_cells_missing_metric_gates():
+    baseline = _baseline({"a|x": {"m": MetricEntry(value=1.0), "n": MetricEntry(value=2.0)}})
+    diffs = compare_cells(baseline, {"a|x": {"m": 1.0}})
+    statuses = {(d.metric): d.status for d in diffs}
+    assert statuses["n"] == "missing"
+
+
+def test_compare_config_mismatch_gates():
+    baseline = Baseline(name="test", config={"step_s": 2.0, "runs_per_scheme": 1})
+    diffs = compare_config(baseline, {"step_s": 5.0, "runs_per_scheme": 1})
+    assert len(diffs) == 1
+    assert diffs[0].status == "config-mismatch"
+    assert diffs[0].gating
+
+
+def test_baseline_json_round_trip():
+    baseline = _baseline({
+        "a|x": {
+            "m": MetricEntry(value=1.25, kind="tolerance", rel_tol=0.1,
+                             direction="higher"),
+            "n": MetricEntry(value=-3.0),
+        },
+    })
+    again = Baseline.from_json(baseline.to_json())
+    assert again.cells == baseline.cells
+    assert again.name == baseline.name
+
+
+def test_baseline_rejects_future_schema():
+    payload = json.loads(_baseline({}).to_json())
+    payload["schema_version"] = 999
+    with pytest.raises(ValueError, match="schema version"):
+        Baseline.from_json(json.dumps(payload))
+
+
+# ----------------------------------------------------------------------
+# Pareto fronts
+# ----------------------------------------------------------------------
+SPEC = FrontSpec(name="t", x_metric="x", x_goal="min", y_metric="y", y_goal="max")
+
+
+def test_pareto_front_dominance():
+    points = {
+        "best": (1.0, 10.0),
+        "tradeoff": (0.5, 5.0),
+        "dominated": (2.0, 5.0),   # worse x than tradeoff-ish, worse y than best
+        "also-dominated": (1.5, 9.0),
+    }
+    front = pareto_front(points, SPEC)
+    assert front == ["tradeoff", "best"]
+
+
+def test_pareto_front_ties_both_kept():
+    points = {"a": (1.0, 5.0), "b": (1.0, 5.0)}
+    assert set(pareto_front(points, SPEC)) == {"a", "b"}
+
+
+def test_front_points_skips_rows_missing_metrics():
+    rows = [
+        {"family": "f", "scenario": "s", "scheme": "a", "x": 1.0, "y": 2.0},
+        {"family": "f", "scenario": "s", "scheme": "b", "x": 1.0},
+    ]
+    points = front_points(rows, SPEC)
+    assert list(points) == ["f|s|a"]
+
+
+def test_front_spec_rejects_bad_goal():
+    with pytest.raises(ValueError):
+        FrontSpec(name="t", x_metric="x", x_goal="down", y_metric="y", y_goal="max")
+
+
+def _payload(front_members, points=None):
+    points = points or {k: [1.0, 1.0] for k in front_members}
+    return {
+        "families": ["smoke"],
+        "fronts": {"t": {"points": points, "front": list(front_members)}},
+    }
+
+
+def test_compare_fronts_fell_off_is_regression():
+    baseline = _payload(["a", "b"], points={"a": [1, 1], "b": [2, 2]})
+    fresh = _payload(["a"], points={"a": [1, 1], "b": [2, 2]})
+    statuses = {(d.metric): d.status for d in compare_fronts(baseline, fresh)}
+    assert statuses["b"] == "regressed"
+
+
+def test_compare_fronts_vanished_point_is_missing():
+    baseline = _payload(["a", "b"], points={"a": [1, 1], "b": [2, 2]})
+    fresh = _payload(["a"], points={"a": [1, 1]})
+    statuses = {(d.metric): d.status for d in compare_fronts(baseline, fresh)}
+    assert statuses["b"] == "missing"
+
+
+def test_compare_fronts_new_member_is_improvement():
+    baseline = _payload(["a"], points={"a": [1, 1], "b": [2, 2]})
+    fresh = _payload(["a", "b"], points={"a": [1, 1], "b": [2, 2]})
+    diffs = compare_fronts(baseline, fresh)
+    statuses = {(d.metric): d.status for d in diffs}
+    assert statuses["b"] == "improved"
+    assert all(not d.gating for d in diffs)
+
+
+def test_compare_fronts_family_mismatch_gates():
+    baseline = _payload(["a"])
+    fresh = dict(_payload(["a"]), families=["smoke", "smoke-watt"])
+    diffs = compare_fronts(baseline, fresh)
+    assert [d.status for d in diffs] == ["config-mismatch"]
+
+
+def test_watt_front_rows_marks_non_dominated():
+    rows = [
+        {"family": "f", "scenario": "s", "scheme": "watt",
+         "gateway_kwh": 1.0, "served_demand_gb": 10.0},
+        {"family": "f", "scenario": "s", "scheme": "count",
+         "gateway_kwh": 2.0, "served_demand_gb": 10.0},
+    ]
+    annotated = {row["point"]: row["on_front"] for row in watt_front_rows(rows)}
+    assert annotated == {"f|s|watt": True, "f|s|count": False}
+    assert WATT_FRONT.x_goal == "min" and WATT_FRONT.y_goal == "max"
+
+
+# ----------------------------------------------------------------------
+# Perf baselines
+# ----------------------------------------------------------------------
+def _bench_payload(speedup=5.0):
+    return {
+        "schema_version": 1,
+        "benchmark": {"num_clients": 136},
+        "aggregate": {
+            "seed_kernel_s": 50.0, "kernel_s": 10.0,
+            "speedup": speedup, "sim_hours_per_second": 30.0,
+        },
+        "per_scheme": {
+            "SoI": {
+                "seed_kernel_s": 2.5, "kernel_s": 0.5, "speedup": 5.0,
+                "sim_hours_per_second": 48.0, "steps_seed": 100,
+                "steps_kernel": 80, "flows_served": 1000,
+                "mean_savings": 0.34, "mean_online_gateways": 9.6,
+                "savings_delta_vs_seed": 0.0,
+                "online_gateways_delta_vs_seed": 0.0,
+            },
+        },
+    }
+
+
+def test_perf_baseline_kinds():
+    baseline = perf_baseline_from_bench(_bench_payload())
+    aggregate = baseline.cells["aggregate"]
+    assert aggregate["speedup"].kind == "tolerance"
+    assert aggregate["speedup"].direction == "higher"
+    scheme = baseline.cells["per_scheme:SoI"]
+    # Step counts / flows / savings are deterministic: exact entries.
+    assert scheme["steps_kernel"].kind == "exact"
+    assert scheme["flows_served"].kind == "exact"
+    assert scheme["mean_savings"].kind == "exact"
+    # The bit-identity deltas restate the bench's 1e-6 bound.
+    assert scheme["savings_delta_vs_seed"].kind == "tolerance"
+    assert scheme["savings_delta_vs_seed"].abs_tol == 1e-6
+    # Raw wall-clock seconds are not baselined at all.
+    assert "kernel_s" not in aggregate and "kernel_s" not in scheme
+
+
+def test_perf_check_catches_speedup_collapse():
+    baseline = perf_baseline_from_bench(_bench_payload(speedup=5.0))
+    slow = perf_cells_from_bench(_bench_payload(speedup=1.5))
+    statuses = {
+        (d.cell, d.metric): d.status for d in compare_cells(baseline, slow)
+    }
+    assert statuses[("aggregate", "speedup")] == "regressed"
+    # A slower-but-within-band run passes.
+    ok = perf_cells_from_bench(_bench_payload(speedup=3.0))
+    statuses = {
+        (d.cell, d.metric): d.status for d in compare_cells(baseline, ok)
+    }
+    assert statuses[("aggregate", "speedup")] == "within-tolerance"
+
+
+# ----------------------------------------------------------------------
+# CLI round trip (the acceptance criteria)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def regress_dirs(tmp_path):
+    return str(tmp_path / "store"), str(tmp_path / "baselines")
+
+
+def _regress(cmd, store, baselines, *extra):
+    return main(["regress", cmd, "--family", "smoke", "--step", "10",
+                 "--out", store, "--baselines", baselines, *extra])
+
+
+def test_update_then_check_is_clean(regress_dirs, capsys):
+    store, baselines = regress_dirs
+    assert _regress("update", store, baselines) == 0
+    assert (Path(baselines) / "smoke.json").is_file()
+    assert (Path(baselines) / "pareto.json").is_file()
+    assert _regress("check", store, baselines) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+
+
+def test_perturbed_metric_regresses_with_named_cell(regress_dirs, capsys, tmp_path):
+    store, baselines = regress_dirs
+    assert _regress("update", store, baselines) == 0
+    path = Path(baselines) / "smoke.json"
+    payload = json.loads(path.read_text())
+    cell = "smoke|SoI"
+    payload["cells"][cell]["mean_savings_percent"]["value"] += 1.0
+    path.write_text(json.dumps(payload))
+    report_path = tmp_path / "report.json"
+    code = _regress("check", store, baselines, "--report", str(report_path))
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REGRESSED" in out
+    assert f"smoke:{cell}:mean_savings_percent" in out
+    report = json.loads(report_path.read_text())
+    assert report["ok"] is False
+    regressed = [d for d in report["diffs"] if d["status"] == "regressed"]
+    assert regressed and regressed[0]["cell"] == cell
+    assert regressed[0]["metric"] == "mean_savings_percent"
+
+
+def test_new_scenario_cell_passes(regress_dirs, capsys):
+    store, baselines = regress_dirs
+    assert _regress("update", store, baselines) == 0
+    capsys.readouterr()  # drain the update output before parsing check's JSON
+    path = Path(baselines) / "smoke.json"
+    payload = json.loads(path.read_text())
+    del payload["cells"]["smoke|SoI"]
+    path.write_text(json.dumps(payload))
+    assert _regress("check", store, baselines, "--json") == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is True
+    new = [d for d in report["diffs"] if d["status"] == "new"]
+    assert any(d["cell"] == "smoke|SoI" for d in new)
+
+
+def test_committed_cell_vanishing_gates(regress_dirs, capsys):
+    store, baselines = regress_dirs
+    assert _regress("update", store, baselines) == 0
+    path = Path(baselines) / "smoke.json"
+    payload = json.loads(path.read_text())
+    payload["cells"]["smoke|not-a-real-scheme"] = {
+        "mean_savings_percent": {"value": 1.0, "kind": "exact"},
+    }
+    path.write_text(json.dumps(payload))
+    assert _regress("check", store, baselines) == 1
+    assert "missing" in capsys.readouterr().out
+
+
+def test_check_without_baselines_gates_with_hint(regress_dirs, capsys):
+    store, baselines = regress_dirs
+    assert _regress("check", store, baselines) == 1
+    out = capsys.readouterr().out
+    assert "regress update" in out
+
+
+def test_check_config_mismatch_gates(regress_dirs, capsys):
+    store, baselines = regress_dirs
+    assert _regress("update", store, baselines) == 0
+    code = main(["regress", "check", "--family", "smoke", "--step", "5",
+                 "--out", store, "--baselines", baselines])
+    assert code == 1
+    assert "config-mismatch" in capsys.readouterr().out
+
+
+def test_strict_gates_improvements(regress_dirs, capsys):
+    store, baselines = regress_dirs
+    assert _regress("update", store, baselines) == 0
+    path = Path(baselines) / "smoke.json"
+    payload = json.loads(path.read_text())
+    # Commit a worse savings value: the run now looks 'improved'.
+    payload["cells"]["smoke|SoI"]["mean_savings_percent"]["value"] -= 1.0
+    path.write_text(json.dumps(payload))
+    assert _regress("check", store, baselines) == 0
+    capsys.readouterr()
+    assert _regress("check", store, baselines, "--strict") == 1
+
+
+def test_pareto_command_prints_and_exports(regress_dirs, capsys, tmp_path):
+    store, baselines = regress_dirs
+    export = tmp_path / "fronts.json"
+    code = _regress("pareto", store, baselines, "--export", str(export))
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "savings-vs-peak-online" in out
+    assert "watt-energy-vs-served" in out
+    payload = json.loads(export.read_text())
+    assert payload["families"] == ["smoke"]
+    assert set(payload["fronts"]) == {"savings-vs-peak-online", "watt-energy-vs-served"}
+
+
+def test_perf_round_trip_via_cli(tmp_path, capsys):
+    bench = tmp_path / "BENCH_perf.json"
+    bench.write_text(json.dumps(_bench_payload(speedup=5.0)))
+    baselines = str(tmp_path / "baselines")
+    code = main(["regress", "update", "--baselines", baselines,
+                 "--family", "smoke", "--step", "10",
+                 "--out", str(tmp_path / "store"), "--perf", str(bench)])
+    assert code == 0
+    capsys.readouterr()
+    # Perf-only check: clean against its own source.
+    code = main(["regress", "check", "--baselines", baselines,
+                 "--no-families", "--no-pareto", "--perf", str(bench)])
+    assert code == 0
+    capsys.readouterr()
+    # A collapsed speedup gates and names the aggregate cell.
+    bench.write_text(json.dumps(_bench_payload(speedup=1.2)))
+    code = main(["regress", "check", "--baselines", baselines,
+                 "--no-families", "--no-pareto", "--perf", str(bench)])
+    assert code == 1
+    assert "perf:aggregate:speedup" in capsys.readouterr().out
+
+
+def test_check_nothing_to_do_is_usage_error(capsys):
+    code = main(["regress", "check", "--no-families", "--no-pareto"])
+    assert code == 2
+    assert "nothing to check" in capsys.readouterr().err
+
+
+def test_malformed_perf_file_is_usage_error(tmp_path, capsys):
+    bad = tmp_path / "BENCH_perf.json"
+    bad.write_text("{not json")
+    code = main(["regress", "check", "--no-families", "--no-pareto",
+                 "--perf", str(bad)])
+    assert code == 2
+    assert "cannot read --perf file" in capsys.readouterr().err
+
+
+def test_summary_markdown_appends(regress_dirs, tmp_path, capsys):
+    store, baselines = regress_dirs
+    assert _regress("update", store, baselines) == 0
+    summary = tmp_path / "summary.md"
+    summary.write_text("# existing\n")
+    assert _regress("check", store, baselines, "--summary", str(summary)) == 0
+    text = summary.read_text()
+    assert text.startswith("# existing")
+    assert "## Regression gate" in text
+    assert "PASS" in text
+
+
+def test_served_demand_metrics_in_sweep_records(regress_dirs):
+    """run_metrics carries the served-demand columns the watt front needs."""
+    from repro.sweep import ResultStore, SweepConfig, run_sweep
+
+    store, _ = regress_dirs
+    result = run_sweep(
+        family_names=["smoke-watt"],
+        config=SweepConfig(step_s=10.0),
+        store=ResultStore(store),
+    )
+    rows = result.aggregates()
+    assert all("served_demand_gb" in row and "served_flows" in row for row in rows)
+    assert any(row["served_flows"] > 0 for row in rows)

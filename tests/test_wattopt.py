@@ -30,7 +30,6 @@ from repro.core.schemes import (
     watt_schemes,
 )
 from repro.fleet.profile import FLEETS, HOMOGENEOUS
-from repro.power.models import DEFAULT_POWER_MODEL
 from repro.simulation.runner import run_scheme
 from repro.topology.scenario import build_default_scenario
 from repro.wattopt import (
