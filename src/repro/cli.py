@@ -118,6 +118,58 @@ def _add_sweep_parser(subparsers) -> None:
     )
     parser.add_argument("--json", action="store_true",
                         help="print the sweep result as JSON instead of tables")
+    resilience = parser.add_argument_group(
+        "resilience",
+        "supervised execution: timeouts, retries, and deterministic chaos "
+        "(retried cells reuse their seeds, so a rescued sweep's store is "
+        "bit-identical to a clean run's)",
+    )
+    resilience.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="kill and retry any task running longer than S seconds "
+        "(enforced on worker processes; unenforceable when serial)",
+    )
+    resilience.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry budget per grid cell (default: 2)",
+    )
+    resilience.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="base of the deterministic exponential backoff before each "
+        "retry (default: 0, retry immediately)",
+    )
+    resilience.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="when a cell exhausts its retries, finish the rest of the "
+        "grid, print partial aggregates, and exit non-zero naming the "
+        "failed cells (default: abort on the first exhausted cell)",
+    )
+    resilience.add_argument(
+        "--chaos",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults into the run, e.g. "
+        "'crash=1,hang=1,raise=1,torn=1' — a drill for the harness, "
+        "not the physics; pair with --task-timeout for hangs",
+    )
+    resilience.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="victim-selection seed of the chaos plan (default: 0)",
+    )
     sweep_sub = parser.add_subparsers(dest="sweep_command", metavar="[gc]")
     gc_parser = sweep_sub.add_parser(
         "gc",
@@ -149,6 +201,15 @@ def _add_sweep_parser(subparsers) -> None:
         default=None,
         metavar="DAYS",
         help="remove records older than this many days (by file mtime)",
+    )
+    gc_parser.add_argument(
+        "--tmp-grace",
+        type=float,
+        default=None,
+        metavar="S",
+        help="treat orphaned runs/*.tmp files older than S seconds as "
+        "removal candidates (default: 3600; younger ones may be a "
+        "concurrent sweep's in-flight write)",
     )
     gc_parser.add_argument(
         "--apply",
@@ -471,16 +532,24 @@ def _cmd_sweep_gc(args) -> int:
         print(f"--max-age-days must be non-negative (got {args.max_age_days})",
               file=sys.stderr)
         return 2
+    if args.tmp_grace is not None and args.tmp_grace < 0:
+        print(f"--tmp-grace must be non-negative (got {args.tmp_grace})",
+              file=sys.stderr)
+        return 2
     store = ResultStore(args.out)
+    gc_kwargs = {}
+    if args.tmp_grace is not None:
+        gc_kwargs["tmp_grace_s"] = args.tmp_grace
     result = store.gc(
         keep_families=args.keep_families,
         max_age_days=args.max_age_days,
         apply=args.apply,
+        **gc_kwargs,
     )
     if result.candidates:
         rows = [
             [
-                candidate.digest[:12],
+                candidate.digest[:12] or candidate.filename,
                 candidate.family or "-",
                 candidate.label or "-",
                 candidate.scheme or "-",
@@ -590,8 +659,12 @@ def _cmd_wattopt(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro import sweep as sweep_pkg
     from repro.sweep import (
+        ChaosConfig,
         ResultStore,
+        RetryPolicy,
         SweepConfig,
+        SweepExecutionError,
+        SweepInterrupted,
         family_names,
         render_sweep,
         run_sweep,
@@ -616,21 +689,59 @@ def _cmd_sweep(args) -> int:
             return 2
     else:
         schemes = None
-    result = run_sweep(
-        family_names=args.family,
-        schemes=schemes,
-        config=SweepConfig(
-            runs_per_scheme=args.runs, step_s=args.step, sample_interval_s=args.sample
-        ),
-        store=ResultStore(args.out),
-        workers=args.workers,
-        use_cache=args.resume,
-    )
+    try:
+        chaos = (
+            ChaosConfig.parse(args.chaos, seed=args.chaos_seed) if args.chaos else None
+        )
+        retry = RetryPolicy(
+            task_timeout_s=args.task_timeout,
+            max_retries=args.retries,
+            backoff_base_s=args.retry_backoff,
+            keep_going=args.keep_going,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        result = run_sweep(
+            family_names=args.family,
+            schemes=schemes,
+            config=SweepConfig(
+                runs_per_scheme=args.runs, step_s=args.step, sample_interval_s=args.sample
+            ),
+            store=ResultStore(args.out),
+            workers=args.workers,
+            use_cache=args.resume,
+            retry=retry,
+            chaos=chaos,
+        )
+    except SweepInterrupted as exc:
+        print(f"\ninterrupted: {exc.completed} fresh run(s) were persisted to "
+              f"{args.out} before the interrupt, {exc.outstanding} still outstanding",
+              file=sys.stderr)
+        print("the result store is resume-safe: re-run the same sweep to pick up "
+              "where it stopped", file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        print(f"\ninterrupted; completed runs are already persisted to {args.out} "
+              "— the result store is resume-safe: re-run the same sweep to pick up "
+              "where it stopped", file=sys.stderr)
+        return 130
+    except SweepExecutionError as exc:
+        print(str(exc), file=sys.stderr)
+        print("completed runs are persisted; pass --keep-going for partial "
+              "aggregates, or re-run to resume from the store", file=sys.stderr)
+        return 1
     if args.json:
         print(sweep_to_json(result))
     else:
         print(render_sweep(result))
         print(f"\nresult store: {args.out}")
+    if result.failures:
+        cells = ", ".join(failure.cell for failure in result.failures)
+        print(f"\n{len(result.failures)} grid cell(s) failed after retries: {cells}",
+              file=sys.stderr)
+        return 1
     return 0
 
 

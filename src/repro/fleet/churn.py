@@ -21,6 +21,13 @@ Semantics:
   reachable in-service gateway (or dropped when none exists).
 * An out-of-service client's trace arrivals are suppressed; its in-flight
   flows are cancelled the moment it unsubscribes.
+* ``DSLAM_FAIL`` is a *correlated* outage: every gateway of the
+  deployment (they all hang off one DSLAM) goes out of service at the
+  same instant and recovers together ``duration_s`` seconds later, with
+  the same rescue/drop semantics as per-gateway failures — during the
+  window no rescue target exists, so in-flight flows are dropped and new
+  arrivals are lost.  The event is entity-less; :meth:`compile` expands
+  it against the concrete gateway population.
 """
 
 from __future__ import annotations
@@ -38,12 +45,23 @@ class ChurnKind(enum.Enum):
     GATEWAY_FAIL = "gateway-fail"
     CLIENT_JOIN = "client-join"
     CLIENT_LEAVE = "client-leave"
+    #: Correlated whole-DSLAM outage: all gateways fail/recover together.
+    DSLAM_FAIL = "dslam-fail"
 
     @property
     def is_gateway(self) -> bool:
+        """Whether the compiled actions flip *gateway* service state."""
         return self in (
-            ChurnKind.GATEWAY_JOIN, ChurnKind.GATEWAY_LEAVE, ChurnKind.GATEWAY_FAIL
+            ChurnKind.GATEWAY_JOIN,
+            ChurnKind.GATEWAY_LEAVE,
+            ChurnKind.GATEWAY_FAIL,
+            ChurnKind.DSLAM_FAIL,
         )
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Whether the event targets the whole population (no entity id)."""
+        return self is ChurnKind.DSLAM_FAIL
 
 
 @dataclass(frozen=True)
@@ -60,15 +78,18 @@ class ChurnEvent:
     def __post_init__(self) -> None:
         if self.at_s < 0:
             raise ValueError("at_s must be non-negative")
-        if self.kind.is_gateway:
+        if self.kind.is_broadcast:
+            if self.gateway_id is not None or self.client_id is not None:
+                raise ValueError(f"{self.kind.value} events take no entity id")
+        elif self.kind.is_gateway:
             if self.gateway_id is None or self.client_id is not None:
                 raise ValueError(f"{self.kind.value} events need exactly a gateway_id")
         else:
             if self.client_id is None or self.gateway_id is not None:
                 raise ValueError(f"{self.kind.value} events need exactly a client_id")
-        if self.kind is ChurnKind.GATEWAY_FAIL:
+        if self.kind in (ChurnKind.GATEWAY_FAIL, ChurnKind.DSLAM_FAIL):
             if self.duration_s is None or self.duration_s <= 0:
-                raise ValueError("gateway-fail events need a positive duration_s")
+                raise ValueError(f"{self.kind.value} events need a positive duration_s")
         elif self.duration_s is not None:
             raise ValueError(f"{self.kind.value} events take no duration_s")
 
@@ -101,11 +122,27 @@ class ChurnTimeline:
 
     # ------------------------------------------------------------------
     def _validate_sequences(self) -> None:
-        """Enforce a sane per-entity life cycle (present/absent alternation)."""
+        """Enforce a sane per-entity life cycle (present/absent alternation).
+
+        Whole-DSLAM outage windows additionally must not overlap each other
+        and must fall entirely inside an in-service stretch of every
+        gateway the timeline mentions individually: the broadcast flips
+        *every* gateway out and back, so a gateway that is absent, failed
+        or transitioning inside the window would be double-flipped.
+        """
         # (is_gateway, id) -> (present, busy_until) state machine.
         state: Dict[Tuple[bool, int], Tuple[bool, float]] = {}
         first_kind: Dict[Tuple[bool, int], ChurnKind] = {}
+        #: Per-gateway-entity service transitions: (instant, into_service).
+        service_changes: Dict[int, List[Tuple[float, bool]]] = {}
+        initially_in_service: Dict[int, bool] = {}
+        dslam_windows: List[Tuple[float, float]] = []
         for event in self.events:
+            if event.kind.is_broadcast:
+                dslam_windows.append(
+                    (event.at_s, event.at_s + (event.duration_s or 0.0))
+                )
+                continue
             is_gateway = event.kind.is_gateway
             entity = event.gateway_id if is_gateway else event.client_id
             key = (is_gateway, entity)
@@ -115,6 +152,9 @@ class ChurnTimeline:
                     ChurnKind.GATEWAY_JOIN, ChurnKind.CLIENT_JOIN
                 )
                 state[key] = (initially_present, 0.0)
+                if is_gateway:
+                    initially_in_service[entity] = initially_present
+                    service_changes[entity] = []
             present, busy_until = state[key]
             if event.at_s < busy_until:
                 raise ValueError(
@@ -128,6 +168,8 @@ class ChurnTimeline:
                         f"at t={event.at_s} while already present"
                     )
                 state[key] = (True, busy_until)
+                if is_gateway:
+                    service_changes[entity].append((event.at_s, True))
             elif event.kind in (ChurnKind.GATEWAY_LEAVE, ChurnKind.CLIENT_LEAVE):
                 if not present:
                     raise ValueError(
@@ -135,20 +177,66 @@ class ChurnTimeline:
                         f"at t={event.at_s} while absent"
                     )
                 state[key] = (False, busy_until)
+                if is_gateway:
+                    service_changes[entity].append((event.at_s, False))
             else:  # GATEWAY_FAIL: transient, entity stays present afterwards
                 if not present:
                     raise ValueError(
                         f"gateway {entity} fails at t={event.at_s} while absent"
                     )
-                state[key] = (True, event.at_s + (event.duration_s or 0.0))
+                recovery = event.at_s + (event.duration_s or 0.0)
+                state[key] = (True, recovery)
+                service_changes[entity].append((event.at_s, False))
+                service_changes[entity].append((recovery, True))
+        self._validate_dslam_windows(
+            dslam_windows, initially_in_service, service_changes
+        )
+
+    @staticmethod
+    def _validate_dslam_windows(
+        windows: List[Tuple[float, float]],
+        initially_in_service: Dict[int, bool],
+        service_changes: Dict[int, List[Tuple[float, bool]]],
+    ) -> None:
+        previous_end = -1.0
+        for start, end in sorted(windows):
+            if start < previous_end:
+                raise ValueError(
+                    f"whole-DSLAM outage at t={start} overlaps an earlier one"
+                )
+            previous_end = end
+        for gateway_id, changes in service_changes.items():
+            # In-service intervals of this gateway, as [start, end) pieces.
+            in_service = initially_in_service[gateway_id]
+            piece_start = 0.0
+            pieces: List[Tuple[float, float]] = []
+            for instant, into_service in changes:
+                if in_service and not into_service:
+                    pieces.append((piece_start, instant))
+                elif not in_service and into_service:
+                    piece_start = instant
+                in_service = into_service
+            if in_service:
+                pieces.append((piece_start, float("inf")))
+            for start, end in windows:
+                if not any(ps <= start and end < pe for ps, pe in pieces):
+                    raise ValueError(
+                        f"whole-DSLAM outage [{start}, {end}] overlaps churn of "
+                        f"gateway {gateway_id}, which must be in service "
+                        f"throughout the window"
+                    )
 
     # ------------------------------------------------------------------
     @property
     def is_empty(self) -> bool:
         return not self.events
 
+    def has_gateway_churn(self) -> bool:
+        """Whether any event (incl. broadcasts) flips gateway service state."""
+        return any(e.kind.is_gateway for e in self.events)
+
     def gateway_ids(self) -> Set[int]:
-        """Every gateway mentioned by the timeline."""
+        """Every gateway mentioned *individually* by the timeline."""
         return {e.gateway_id for e in self.events if e.gateway_id is not None}
 
     def client_ids(self) -> Set[int]:
@@ -161,6 +249,8 @@ class ChurnTimeline:
         gateways: Set[int] = set()
         clients: Set[int] = set()
         for event in self.events:
+            if event.kind.is_broadcast:
+                continue
             is_gateway = event.kind.is_gateway
             entity = event.gateway_id if is_gateway else event.client_id
             key = (is_gateway, entity)
@@ -173,15 +263,35 @@ class ChurnTimeline:
                 clients.add(entity)
         return gateways, clients
 
-    def compile(self) -> List[ChurnAction]:
+    def compile(self, num_gateways: Optional[int] = None) -> List[ChurnAction]:
         """The primitive action plan, sorted by instant (ties in event order).
 
         A ``GATEWAY_FAIL`` expands into an out-of-service action at its
         instant plus an into-service recovery action ``duration_s`` later.
+        A ``DSLAM_FAIL`` broadcast expands the same way *per gateway* of
+        the concrete population, so ``num_gateways`` is required whenever
+        the timeline contains one.
         """
         actions: List[ChurnAction] = []
         seq = 0
         for event in self.events:
+            if event.kind is ChurnKind.DSLAM_FAIL:
+                if num_gateways is None:
+                    raise ValueError(
+                        "compile() needs num_gateways to expand dslam-fail events"
+                    )
+                recovery = event.at_s + (event.duration_s or 0.0)
+                for gateway_id in range(num_gateways):
+                    actions.append(ChurnAction(
+                        event.at_s, seq, event.kind, gateway_id, False,
+                    ))
+                    seq += 1
+                for gateway_id in range(num_gateways):
+                    actions.append(ChurnAction(
+                        recovery, seq, event.kind, gateway_id, True,
+                    ))
+                    seq += 1
+                continue
             if event.kind is ChurnKind.GATEWAY_JOIN:
                 actions.append(ChurnAction(event.at_s, seq, event.kind, event.gateway_id, True))
             elif event.kind is ChurnKind.GATEWAY_LEAVE:
@@ -297,12 +407,27 @@ def _subscriber_churn(num_gateways, num_clients, duration_s, seed) -> ChurnTimel
     return ChurnTimeline(tuple(events))
 
 
+def _dslam_outage(num_gateways, num_clients, duration_s, seed) -> ChurnTimeline:
+    """One correlated whole-DSLAM outage: power fails at a seeded instant
+    in the middle third of the trace and every gateway recovers together
+    after the repair window."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed + 401)
+    start = duration_s * (1.0 / 3.0 + float(rng.uniform(0.0, 1.0)) / 6.0)
+    outage = max(900.0, duration_s / 8.0)
+    return ChurnTimeline((
+        ChurnEvent(at_s=start, kind=ChurnKind.DSLAM_FAIL, duration_s=outage),
+    ))
+
+
 #: Named pattern builders: ``f(num_gateways, num_clients, duration_s, seed)``.
 CHURN_PATTERNS: Dict[str, object] = {
     "none": lambda num_gateways, num_clients, duration_s, seed: EMPTY_TIMELINE,
     "midday-dropout": _midday_dropout,
     "evening-expansion": _evening_expansion,
     "subscriber-churn": _subscriber_churn,
+    "dslam-outage": _dslam_outage,
 }
 
 

@@ -38,7 +38,7 @@ BASELINE_SCHEMA_VERSION = 1
 DEFAULT_BASELINES_DIR = "baselines"
 
 #: The smoke-scale families the CI gate checks on every PR.
-DEFAULT_REGRESS_FAMILIES = ("smoke", "smoke-watt")
+DEFAULT_REGRESS_FAMILIES = ("smoke", "smoke-watt", "correlated-outage")
 
 #: Name of the perf baseline file (``baselines/perf.json``).
 PERF_BASELINE_NAME = "perf"

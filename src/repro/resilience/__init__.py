@@ -1,0 +1,56 @@
+"""Deterministic fault injection and supervised sweep execution.
+
+The sweep engine shards hours-long grids over worker processes, and the
+access-network setting it simulates — flaky power, correlated DSLAM
+outages — is exactly the regime its own infrastructure must survive.
+This package makes that survival testable:
+
+* :mod:`repro.resilience.faults` — a deterministic fault-injection plan
+  (worker crash, hang, raised exception, torn store write) keyed by run
+  digest and a chaos seed, so every chaos run is exactly reproducible;
+* :mod:`repro.resilience.supervisor` — a supervising executor with
+  per-task wall-clock timeouts, bounded retries with deterministic
+  backoff, dead-worker detection and respawn, and graceful degradation
+  to serial execution after repeated pool failures.
+
+The load-bearing invariant (tested in ``tests/test_resilience.py`` and
+enforced by the CI ``chaos`` job): retried and rescued tasks reuse the
+same crc32-deterministic seeds, so a chaos-battered sweep's result store
+is bit-identical to a clean serial run's.
+"""
+
+from repro.resilience.faults import (
+    ChaosConfig,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    build_plan,
+    tear_write,
+)
+from repro.resilience.supervisor import (
+    RetryPolicy,
+    SupervisedOutcome,
+    SweepExecutionError,
+    SweepInterrupted,
+    TaskFailure,
+    run_serial_supervised,
+    run_supervised,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+    "SupervisedOutcome",
+    "SweepExecutionError",
+    "SweepInterrupted",
+    "TaskFailure",
+    "build_plan",
+    "run_serial_supervised",
+    "run_supervised",
+    "tear_write",
+]

@@ -1,0 +1,203 @@
+"""Deterministic fault injection for chaos-testing the sweep engine.
+
+A :class:`FaultPlan` names, ahead of time, exactly which grid cells will
+misbehave and how: the victims are the tasks whose digests rank lowest
+under ``crc32(f"{chaos_seed}:{digest}")``, so the same grid and the same
+chaos seed always produce the same plan — a chaos run is as reproducible
+as a clean one, and a failing chaos test can be replayed bit-for-bit.
+
+Fault kinds split by where they fire:
+
+* **worker-side** (:attr:`FaultKind.CRASH`, :attr:`FaultKind.HANG`,
+  :attr:`FaultKind.RAISE`) are consulted by the worker before executing
+  a task — ``os._exit`` models an OOM kill, the hang loop models a stuck
+  solver (the parent kills it by wall-clock timeout), and the raise
+  models an ordinary task exception;
+* **parent-side** (:attr:`FaultKind.TORN_WRITE`) fires at persist time:
+  :func:`tear_write` leaves an orphaned ``.tmp`` file in the store —
+  exactly the residue of a process dying between ``mkstemp`` and
+  ``os.replace`` — and the record is *not* written, so the rescue path
+  has to re-execute and re-persist the cell.
+
+Every fault is bound to one ``(digest, attempt)`` pair (attempt 0 by
+default), so a retried task converges: the fault fires once and the
+retry runs clean with the *same* crc32-deterministic seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import tempfile
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class FaultKind(enum.Enum):
+    """How an injected fault manifests."""
+
+    CRASH = "crash"  # worker: os._exit, no exception, no cleanup
+    HANG = "hang"  # worker: spin past any deadline until killed
+    RAISE = "raise"  # worker: raise InjectedFault from the task body
+    TORN_WRITE = "torn"  # parent: orphan a .tmp, skip the write, raise
+
+
+#: Kinds consulted inside the worker, before the task body runs.
+WORKER_FAULTS = frozenset({FaultKind.CRASH, FaultKind.HANG, FaultKind.RAISE})
+
+#: Exit status of an injected worker crash (distinctive in ps output).
+CRASH_EXIT_CODE = 86
+
+
+class InjectedFault(RuntimeError):
+    """Raised (or reported) by a fault the plan injected on purpose."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """How many faults of each kind to inject, plus the victim seed."""
+
+    crashes: int = 0
+    hangs: int = 0
+    raises: int = 0
+    torn_writes: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("crashes", "hangs", "raises", "torn_writes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def total(self) -> int:
+        """Total faults requested across all kinds."""
+        return self.crashes + self.hangs + self.raises + self.torn_writes
+
+    #: CLI spelling of each count field, e.g. ``--chaos crash=1,torn=2``.
+    _CLI_NAMES = {
+        "crash": "crashes",
+        "hang": "hangs",
+        "raise": "raises",
+        "torn": "torn_writes",
+    }
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "ChaosConfig":
+        """Parse a CLI chaos spec like ``crash=1,hang=1,raise=1,torn=1``."""
+        counts = {field: 0 for field in cls._CLI_NAMES.values()}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, eq, value = part.partition("=")
+            key = key.strip().lower()
+            if key not in cls._CLI_NAMES:
+                known = ", ".join(sorted(cls._CLI_NAMES))
+                raise ValueError(f"unknown fault kind {key!r}; known kinds: {known}")
+            try:
+                count = int(value.strip()) if eq else 1
+            except ValueError:
+                raise ValueError(f"fault count for {key!r} must be an integer") from None
+            if count < 0:
+                raise ValueError(f"fault count for {key!r} must be non-negative")
+            counts[cls._CLI_NAMES[key]] += count
+        return cls(seed=seed, **counts)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: fire ``kind`` on ``(digest, attempt)``."""
+
+    digest: str
+    kind: FaultKind
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, picklable set of planned faults (sent to workers)."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def _index(self) -> Dict[Tuple[str, int], FaultKind]:
+        return {(fault.digest, fault.attempt): fault.kind for fault in self.faults}
+
+    def fault_for(self, digest: str, attempt: int) -> Optional[FaultKind]:
+        """The fault planned for this (digest, attempt), if any."""
+        return self._index().get((digest, attempt))
+
+    def worker_fault(self, digest: str, attempt: int) -> Optional[FaultKind]:
+        """Like :meth:`fault_for`, restricted to worker-side kinds."""
+        kind = self.fault_for(digest, attempt)
+        return kind if kind in WORKER_FAULTS else None
+
+    def describe(self) -> str:
+        """One line per planned fault, for logs and CLI output."""
+        return "\n".join(
+            f"{fault.kind.value:>6} @ attempt {fault.attempt}: {fault.digest[:12]}"
+            for fault in self.faults
+        )
+
+
+def build_plan(digests: Sequence[str], chaos: ChaosConfig) -> FaultPlan:
+    """Assign the requested faults to deterministic victim digests.
+
+    Victims are the digests ranking lowest under
+    ``crc32(f"{chaos.seed}:{digest}")`` — a different chaos seed picks a
+    different victim set, the same seed always picks the same one.  Each
+    digest receives at most one fault (kinds are assigned in crash, hang,
+    raise, torn order); when the grid is smaller than the requested fault
+    count the surplus is dropped rather than doubled up, so a fault never
+    fires twice on one cell and retries always converge.
+    """
+    ranked = sorted(
+        dict.fromkeys(digests),
+        key=lambda digest: (
+            zlib.crc32(f"{chaos.seed}:{digest}".encode("utf-8")),
+            digest,
+        ),
+    )
+    wanted = (
+        [FaultKind.CRASH] * chaos.crashes
+        + [FaultKind.HANG] * chaos.hangs
+        + [FaultKind.RAISE] * chaos.raises
+        + [FaultKind.TORN_WRITE] * chaos.torn_writes
+    )
+    faults = tuple(
+        FaultSpec(digest=digest, kind=kind)
+        for digest, kind in zip(ranked, wanted)
+    )
+    return FaultPlan(faults=faults, seed=chaos.seed)
+
+
+def apply_worker_fault(kind: FaultKind, digest: str) -> None:
+    """Fire a worker-side fault (runs inside the worker process)."""
+    if kind is FaultKind.CRASH:
+        # Bypass exception handling and atexit entirely, like a SIGKILL.
+        os._exit(CRASH_EXIT_CODE)
+    if kind is FaultKind.HANG:
+        # Spin until the supervisor's wall-clock timeout kills us.
+        while True:
+            time.sleep(0.2)
+    if kind is FaultKind.RAISE:
+        raise InjectedFault(f"injected task exception for {digest[:12]}")
+    raise ValueError(f"{kind} is not a worker-side fault")
+
+
+def tear_write(store, digest: str) -> None:
+    """Simulate a write torn between ``mkstemp`` and ``os.replace``.
+
+    Leaves an orphaned partial ``.tmp`` in the store's ``runs/`` directory
+    — the exact residue of a process dying mid-:meth:`ResultStore.put` —
+    and raises :class:`InjectedFault` so the supervisor treats the persist
+    as failed and re-runs the cell.  The record file itself is untouched.
+    """
+    fd, _tmp_name = tempfile.mkstemp(
+        dir=store.runs_dir, prefix=f".{digest[:12]}-", suffix=".tmp"
+    )
+    with os.fdopen(fd, "w") as handle:
+        handle.write('{"digest": "%s", "metrics": {"mean_sav' % digest)
+    raise InjectedFault(f"injected torn store write for {digest[:12]}")

@@ -301,14 +301,14 @@ class AccessNetworkSimulator:
             self._baseline_user_w = scenario.num_gateways * power_model.gateway.active_w
             self._generation_counts = {base_name: scenario.num_gateways}
 
-        self._churn_actions = churn.compile()
+        self._churn_actions = churn.compile(scenario.num_gateways)
         self._churn_index = 0
         self._next_churn_at = (
             self._churn_actions[0].at_s if self._churn_actions else inf
         )
         absent_gateways, absent_clients = churn.initially_absent()
         self._clients_out: Set[int] = set(absent_clients)
-        self._has_gateway_churn = bool(churn.gateway_ids())
+        self._has_gateway_churn = churn.has_gateway_churn()
         self._dropped_flows = 0
         self._suppressed_arrivals = 0
 

@@ -20,6 +20,11 @@ into an experiment pipeline:
 * :mod:`repro.sweep.report` — cross-scenario savings/online-gateway
   tables rendered through :mod:`repro.analysis.report`.
 
+Execution is supervised by :mod:`repro.resilience`: per-task timeouts,
+bounded retries, dead-worker respawn, degradation to serial, and a
+deterministic chaos mode whose battered stores are bit-identical to a
+clean run's.
+
 Entry point: ``repro-access sweep --family <name> [--workers N]
 [--resume] [--out DIR]``.
 """
@@ -30,6 +35,17 @@ from repro.sweep.catalog import (
     family,
     family_names,
     register_family,
+)
+from repro.resilience import (
+    ChaosConfig,
+    FaultKind,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+    SweepExecutionError,
+    SweepInterrupted,
+    TaskFailure,
+    build_plan,
 )
 from repro.sweep.engine import SweepConfig, SweepResult, SweepTask, expand_tasks, run_sweep
 from repro.sweep.report import (
@@ -42,10 +58,19 @@ from repro.sweep.report import (
 from repro.sweep.store import GcCandidate, GcReport, ResultStore, RunRecord, run_digest
 
 __all__ = [
+    "ChaosConfig",
+    "FaultKind",
+    "FaultPlan",
     "GcCandidate",
     "GcReport",
+    "InjectedFault",
     "ResultStore",
+    "RetryPolicy",
     "RunRecord",
+    "SweepExecutionError",
+    "SweepInterrupted",
+    "TaskFailure",
+    "build_plan",
     "generation_table",
     "watt_gap_rows",
     "watt_gap_table",

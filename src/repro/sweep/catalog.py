@@ -385,6 +385,18 @@ register_family(ScenarioFamily(
 ))
 
 register_family(ScenarioFamily(
+    name="correlated-outage",
+    description="Correlated whole-DSLAM outage (flaky-power access regimes: "
+                "GATE edge fleets, developing-world deployments) against the "
+                "independent midday-dropout failures: what sleeping schemes "
+                "do when every gateway fails and recovers together.",
+    base=ScenarioSpec(
+        num_clients=12, num_gateways=4, duration_s=14400.0, seed=79
+    ),
+    grid=(("churn", ("midday-dropout", "dslam-outage")),),
+))
+
+register_family(ScenarioFamily(
     name="smoke",
     description="Tiny half-hour deployment for CI smoke runs and tests.",
     base=ScenarioSpec(num_clients=12, num_gateways=4, duration_s=1800.0, seed=71),

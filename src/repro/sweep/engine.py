@@ -14,15 +14,38 @@ worker regardless of how many scheme × repetition tasks land on it.
 Completed runs stream back to the parent, which persists each one to the
 :class:`~repro.sweep.store.ResultStore` immediately — a sweep killed
 mid-run loses at most the runs that were in flight.
+
+Execution is supervised (:mod:`repro.resilience.supervisor`): per-task
+wall-clock timeouts, bounded retries with deterministic backoff, dead
+worker respawn with re-enqueue of in-flight tasks, and degradation to
+serial execution when the pool keeps dying.  Because a retried task is
+the *same* :class:`SweepTask` — its seed was fixed at expansion time —
+the rescue path reproduces the exact bytes a clean run would have
+stored.  A :class:`~repro.resilience.faults.ChaosConfig` injects
+deterministic faults (worker crash, hang, raise, torn store write) to
+prove it.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.schemes import SchemeConfig, standard_schemes
+from repro.resilience.faults import (
+    ChaosConfig,
+    FaultKind,
+    FaultPlan,
+    InjectedFault,
+    build_plan,
+    tear_write,
+)
+from repro.resilience.supervisor import (
+    RetryPolicy,
+    TaskFailure,
+    run_serial_supervised,
+    run_supervised,
+)
 from repro.simulation.runner import run_scheme, scheme_run_seed
 from repro.simulation.simulator import SimulationResult
 from repro.sweep.catalog import ScenarioFamily, ScenarioSpec, resolve_families
@@ -194,12 +217,22 @@ def _execute_task(task: SweepTask) -> RunRecord:
 
 @dataclass
 class SweepResult:
-    """Outcome of a sweep: every task's record plus cache accounting."""
+    """Outcome of a sweep: every task's record plus cache accounting.
+
+    ``failures`` is the ledger of grid cells that exhausted their retry
+    budget under ``--keep-going``; their digests are absent from
+    ``records`` and their cells are skipped (not guessed at) by
+    :meth:`aggregates`.
+    """
 
     tasks: List[SweepTask]
     records: Dict[str, RunRecord]
     cache_hits: int = 0
     executed: int = 0
+    failures: List[TaskFailure] = field(default_factory=list)
+    retries: int = 0
+    respawns: int = 0
+    degraded: bool = False
 
     @property
     def total_runs(self) -> int:
@@ -221,6 +254,9 @@ class SweepResult:
         Rows keep grid order; metric means are computed with a fixed
         summation order over run-index-ordered records, so they are
         bit-identical across serial, parallel and resumed executions.
+        Cells lost to failures (``--keep-going``) are left out of their
+        group's mean — and a group with no surviving repetition is left
+        out of the table — rather than silently zero-filled.
         """
         groups: Dict[Tuple[str, str, str], List[RunRecord]] = {}
         order: List[Tuple[str, str, str]] = []
@@ -229,10 +265,14 @@ class SweepResult:
             if key not in groups:
                 groups[key] = []
                 order.append(key)
-            groups[key].append(self.records[task.digest])
+            record = self.records.get(task.digest)
+            if record is not None:
+                groups[key].append(record)
         rows: List[Dict[str, object]] = []
         for key in order:
             records = sorted(groups[key], key=lambda r: r.run_index)
+            if not records:
+                continue  # every repetition of this cell failed
             # Intersect across records: a store written before a metric
             # column existed may back some repetitions of a group.
             metric_names = [
@@ -262,6 +302,8 @@ def run_sweep(
     workers: Optional[int] = None,
     use_cache: bool = True,
     families: Optional[Sequence[ScenarioFamily]] = None,
+    retry: Optional[RetryPolicy] = None,
+    chaos: Optional[ChaosConfig] = None,
 ) -> SweepResult:
     """Run (or resume) a sweep over the given scenario families.
 
@@ -273,6 +315,14 @@ def run_sweep(
     runs are served from disk and fresh runs are persisted as they
     complete; ``use_cache=False`` forces recomputation (results still
     overwrite the store).
+
+    ``retry`` configures supervised execution (timeouts, retry budget,
+    ``keep_going``); a task that exhausts its budget raises
+    :class:`~repro.resilience.supervisor.SweepExecutionError` unless the
+    policy says ``keep_going``, in which case the cell lands in
+    ``SweepResult.failures`` instead.  ``chaos`` injects a deterministic
+    fault plan over the *pending* (not cache-served) digests — the chaos
+    drill of the CI ``chaos`` job.
     """
     if workers is not None and workers <= 0:
         raise ValueError("workers must be positive")
@@ -309,32 +359,61 @@ def run_sweep(
             pending.append(task)
 
     executed = len(pending)
+    policy = retry or RetryPolicy()
+    # The plan covers only digests that actually execute: a cache-served
+    # cell cannot crash a worker, and victim choice stays stable across
+    # resumes of the same pending set.
+    plan: Optional[FaultPlan] = None
+    if chaos is not None and chaos.total:
+        plan = build_plan([task.digest for task in pending], chaos)
+
+    def persist(record: RunRecord, attempt: int) -> None:
+        """Parent-side persist hook; torn-write injection lives here."""
+        if plan is not None and plan.fault_for(record.digest, attempt) is FaultKind.TORN_WRITE:
+            if store is not None:
+                tear_write(store, record.digest)
+            raise InjectedFault(f"injected torn store write for {record.digest[:12]}")
+        if store is not None:
+            store.put(record)
+
+    failures: List[TaskFailure] = []
+    retries = respawns = 0
+    degraded = False
     if pending:
         workers = workers or 1
         workers = max(1, min(workers, len(pending)))
         if workers == 1:
             try:
-                for task in pending:
-                    record = _execute_task(task)
-                    if store is not None:
-                        store.put(record)
-                    records[record.digest] = record
+                outcome = run_serial_supervised(
+                    pending, _execute_task, persist, policy, plan=plan
+                )
             finally:
                 # The serial path ran in this process: don't pin the last
                 # scenario (and its trace) for the process lifetime.
                 _SCENARIO_CACHE.clear()
         else:
-            # Group each spec's tasks contiguously so the chunked map
-            # keeps a worker's per-process scenario cache warm.
-            with multiprocessing.Pool(processes=workers) as pool:
-                for record in pool.imap_unordered(
-                    _execute_task, pending, chunksize=max(1, len(pending) // (4 * workers))
-                ):
-                    if store is not None:
-                        store.put(record)
-                    records[record.digest] = record
+            # Tasks keep their grid order on first assignment, so each
+            # spec's cells land contiguously and a worker's per-process
+            # scenario cache stays warm.
+            outcome = run_supervised(
+                pending, _execute_task, persist, policy, plan=plan, workers=workers
+            )
+        records.update(outcome.records)
+        failures = outcome.failures
+        retries = outcome.retries
+        respawns = outcome.respawns
+        degraded = outcome.degraded
 
     # Every grid cell that did not need a fresh run counts as a hit,
     # including duplicates reached through two families.
     cache_hits = len(tasks) - executed
-    return SweepResult(tasks=tasks, records=records, cache_hits=cache_hits, executed=executed)
+    return SweepResult(
+        tasks=tasks,
+        records=records,
+        cache_hits=cache_hits,
+        executed=executed,
+        failures=failures,
+        retries=retries,
+        respawns=respawns,
+        degraded=degraded,
+    )

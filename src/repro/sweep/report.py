@@ -174,12 +174,28 @@ def render_sweep(result: SweepResult) -> str:
     blocks.append("== cross-family overview (savings vs. always-on baseline) ==")
     blocks.append(overview_table(result))
     blocks.append("")
-    blocks.append(report.render_key_values({
+    if result.failures:
+        blocks.append("== failed grid cells (excluded from aggregates) ==")
+        blocks.append(report.format_table(
+            ["cell", "attempts", "kind", "reason"],
+            [
+                [failure.cell, failure.attempts, failure.kind, failure.reason]
+                for failure in result.failures
+            ],
+        ))
+        blocks.append("")
+    accounting = {
         "grid_runs": result.total_runs,
         "executed": result.executed,
         "cache_hits": result.cache_hits,
         "cache_hit_percent": 100.0 * result.cache_hit_fraction,
-    }, title="Sweep accounting"))
+    }
+    if result.retries or result.respawns or result.failures or result.degraded:
+        accounting["retries"] = result.retries
+        accounting["worker_respawns"] = result.respawns
+        accounting["failed_cells"] = len(result.failures)
+        accounting["degraded_to_serial"] = str(result.degraded).lower()
+    blocks.append(report.render_key_values(accounting, title="Sweep accounting"))
     return "\n".join(blocks)
 
 
@@ -199,11 +215,25 @@ def sweep_to_json(result: SweepResult) -> str:
                 "metrics": result.record_for(task).metrics,
             }
             for task in result.tasks
+            if task.digest in result.records
+        ],
+        "failures": [
+            {
+                "digest": failure.digest,
+                "cell": failure.cell,
+                "attempts": failure.attempts,
+                "kind": failure.kind,
+                "reason": failure.reason,
+            }
+            for failure in result.failures
         ],
         "accounting": {
             "grid_runs": result.total_runs,
             "executed": result.executed,
             "cache_hits": result.cache_hits,
+            "retries": result.retries,
+            "worker_respawns": result.respawns,
+            "degraded_to_serial": result.degraded,
         },
     }
     return json.dumps(payload, indent=1, sort_keys=True)

@@ -31,6 +31,11 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set
 #: not capture) changes; old records then simply stop matching.
 STORE_VERSION = 1
 
+#: How old (seconds) an orphaned ``.tmp`` in ``runs/`` must be before
+#: GC and manifest rebuilds treat it as the leavings of a dead writer
+#: rather than a concurrent sweep's in-flight :meth:`ResultStore.put`.
+STALE_TMP_GRACE_S = 3600.0
+
 
 def canonicalize(obj: object) -> object:
     """Reduce dataclasses/enums/tuples to plain JSON-stable structures."""
@@ -108,7 +113,11 @@ class RunRecord:
 
 @dataclass(frozen=True)
 class GcCandidate:
-    """One record the garbage collector would (or did) remove."""
+    """One record (or orphaned tmp file) GC would (or did) remove.
+
+    Orphaned ``.tmp`` candidates carry ``filename`` instead of a digest:
+    a tmp file's name holds only a digest prefix, never the full digest.
+    """
 
     digest: str
     reason: str
@@ -116,6 +125,7 @@ class GcCandidate:
     label: str = ""
     scheme: str = ""
     age_days: Optional[float] = None
+    filename: str = ""
 
 
 @dataclass
@@ -233,8 +243,50 @@ class ResultStore:
             if not summary.get("invalid")
         }
 
+    def _scan_tmps(self, now: Optional[float] = None) -> List[tuple]:
+        """Every ``.tmp`` in ``runs/`` as sorted ``(name, age_s)`` pairs.
+
+        These are the orphans of writers that died between ``mkstemp``
+        and ``os.replace`` — :meth:`put` unlinks its tmp on any in-process
+        failure, so only process death leaves one behind.
+        """
+        clock = time.time() if now is None else now
+        found: List[tuple] = []
+        with os.scandir(self.runs_dir) as entries:
+            for entry in entries:
+                if not entry.name.endswith(".tmp"):
+                    continue
+                try:
+                    age_s = max(0.0, clock - entry.stat().st_mtime)
+                except OSError:
+                    continue  # vanished mid-scan: its writer completed it
+                found.append((entry.name, age_s))
+        return sorted(found)
+
+    def _sweep_stale_tmps(
+        self, grace_s: float = STALE_TMP_GRACE_S, now: Optional[float] = None
+    ) -> int:
+        """Unlink orphaned ``.tmp`` files older than ``grace_s``."""
+        removed = 0
+        for name, age_s in self._scan_tmps(now=now):
+            if age_s < grace_s:
+                continue
+            try:
+                os.unlink(self.runs_dir / name)
+                removed += 1
+            except OSError:
+                pass  # concurrent removal: nothing left to clean
+        return removed
+
     def rebuild_manifest(self) -> Dict[str, dict]:
-        """Regenerate the manifest from the record files, atomically."""
+        """Regenerate the manifest from the record files, atomically.
+
+        Also sweeps orphaned ``.tmp`` files past the stale grace period:
+        a rebuild is already a whole-store pass, and tmp orphans are the
+        one kind of garbage :meth:`put` cannot clean up after itself
+        (the writing process died holding them).
+        """
+        self._sweep_stale_tmps()
         entries: Dict[str, dict] = {}
         for digest in self.digests():
             record = self.get(digest)
@@ -324,6 +376,7 @@ class ResultStore:
         max_age_days: Optional[float] = None,
         now: Optional[float] = None,
         apply: bool = False,
+        tmp_grace_s: float = STALE_TMP_GRACE_S,
     ) -> GcReport:
         """Trim the store, driven by the manifest.  Dry run unless ``apply``.
 
@@ -334,7 +387,11 @@ class ResultStore:
           removed, whatever their family;
         * ``invalid`` manifest tombstones (corrupt files, or leftovers of
           a ``STORE_VERSION`` bump that can never be cache hits again) are
-          always removal candidates, even with no rule given.
+          always removal candidates, even with no rule given;
+        * orphaned ``.tmp`` files in ``runs/`` older than ``tmp_grace_s``
+          (left by writers that died between ``mkstemp`` and
+          ``os.replace``) are always removal candidates too — younger
+          ones are spared as possibly a concurrent sweep's in-flight put.
 
         A dry run (the default) touches nothing — it only reports what an
         ``apply`` pass would delete.  An ``apply`` pass unlinks the record
@@ -344,10 +401,24 @@ class ResultStore:
         """
         if max_age_days is not None and max_age_days < 0:
             raise ValueError("max_age_days must be non-negative")
+        if tmp_grace_s < 0:
+            raise ValueError("tmp_grace_s must be non-negative")
         keep = set(keep_families) if keep_families is not None else None
         clock = time.time() if now is None else now
+        # Scan tmps before manifest(): a stale manifest triggers a lazy
+        # rebuild, and the rebuild sweeps stale tmps itself.
+        tmps = self._scan_tmps(now=clock)
         entries = self.manifest()
-        candidates: List[GcCandidate] = []
+        candidates: List[GcCandidate] = [
+            GcCandidate(
+                digest="",
+                reason=f"orphaned tmp write (stale past {tmp_grace_s:g}s grace)",
+                age_days=age_s / 86400.0,
+                filename=name,
+            )
+            for name, age_s in tmps
+            if age_s >= tmp_grace_s
+        ]
         for digest in sorted(entries):
             summary = entries[digest]
             path = self.path_for(digest)
@@ -380,11 +451,17 @@ class ResultStore:
                     reason=f"older than {max_age_days:g} days",
                     family=family, label=label, scheme=scheme, age_days=age_days,
                 ))
-        report = GcReport(examined=len(entries), candidates=candidates, applied=apply)
+        report = GcReport(
+            examined=len(entries) + len(tmps), candidates=candidates, applied=apply
+        )
         if apply and candidates:
             for candidate in candidates:
+                if candidate.filename:
+                    path = self.runs_dir / candidate.filename
+                else:
+                    path = self.path_for(candidate.digest)
                 try:
-                    os.unlink(self.path_for(candidate.digest))
+                    os.unlink(path)
                     report.removed += 1
                 except OSError:
                     pass  # concurrent removal: the manifest rebuild reconciles

@@ -97,6 +97,67 @@ def test_sweep_json_output(tmp_path, capsys):
 
 
 # ----------------------------------------------------------------------
+# Resilience flags
+# ----------------------------------------------------------------------
+def test_sweep_rejects_bad_chaos_spec(capsys):
+    assert main(["sweep", "--family", "smoke", "--chaos", "explode=1"]) == 2
+    assert "unknown fault kind" in capsys.readouterr().err
+
+
+def test_sweep_rejects_bad_retry_policy(capsys):
+    assert main(["sweep", "--family", "smoke", "--retries", "-1"]) == 2
+    assert "max_retries" in capsys.readouterr().err
+    assert main(["sweep", "--family", "smoke", "--task-timeout", "0"]) == 2
+    assert "task_timeout_s" in capsys.readouterr().err
+
+
+def test_sweep_chaos_flags_end_to_end(tmp_path, capsys):
+    out_dir = str(tmp_path / "store")
+    assert main(["sweep", "--family", "smoke", "--step", "10", "--out", out_dir,
+                 "--schemes", "no-sleep,SoI",
+                 "--chaos", "raise=1,torn=1", "--chaos-seed", "3",
+                 "--retries", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "retries" in out and "worker_respawns" in out
+    # The chaos-battered store serves a clean re-run entirely from cache.
+    assert main(["sweep", "--family", "smoke", "--step", "10", "--out", out_dir,
+                 "--schemes", "no-sleep,SoI"]) == 0
+    assert "cache_hit_percent : 100.000" in capsys.readouterr().out
+
+
+def test_sweep_keep_going_exits_nonzero_naming_failed_cells(tmp_path, capsys):
+    assert main(["sweep", "--family", "smoke", "--step", "10",
+                 "--out", str(tmp_path / "store"), "--schemes", "no-sleep,SoI",
+                 "--chaos", "raise=1", "--retries", "0", "--keep-going"]) == 1
+    captured = capsys.readouterr()
+    assert "failed grid cells" in captured.out  # ledger table in the report
+    assert "1 grid cell(s) failed after retries: smoke/" in captured.err
+
+
+def test_sweep_abort_without_keep_going_exits_1(tmp_path, capsys):
+    assert main(["sweep", "--family", "smoke", "--step", "10",
+                 "--out", str(tmp_path / "store"), "--schemes", "no-sleep,SoI",
+                 "--chaos", "raise=1", "--retries", "0"]) == 1
+    err = capsys.readouterr().err
+    assert "failed after retries" in err
+    assert "--keep-going" in err
+
+
+def test_sweep_ctrl_c_reports_persisted_count(monkeypatch, capsys):
+    from repro.resilience import SweepInterrupted
+
+    def fake_run_sweep(*args, **kwargs):
+        raise SweepInterrupted(completed=3, outstanding=2)
+
+    monkeypatch.setattr("repro.sweep.engine.run_sweep", fake_run_sweep)
+    monkeypatch.setattr("repro.sweep.run_sweep", fake_run_sweep)
+    assert main(["sweep", "--family", "smoke", "--out", "unused-store"]) == 130
+    err = capsys.readouterr().err
+    assert "3 fresh run(s) were persisted" in err
+    assert "resume-safe" in err
+
+
+# ----------------------------------------------------------------------
 # Seeding is deterministic across interpreter processes
 # ----------------------------------------------------------------------
 def test_scheme_run_seed_is_identical_across_processes():

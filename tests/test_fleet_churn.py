@@ -128,6 +128,87 @@ def test_named_patterns_build_valid_timelines(name):
     assert timeline.canonical() != other_seed.canonical()
 
 
+def _dslam(at, duration):
+    return ChurnEvent(at_s=at, kind=ChurnKind.DSLAM_FAIL, duration_s=duration)
+
+
+def test_dslam_fail_event_validation():
+    with pytest.raises(ValueError, match="no entity id"):
+        ChurnEvent(at_s=0.0, kind=ChurnKind.DSLAM_FAIL, gateway_id=1, duration_s=5.0)
+    with pytest.raises(ValueError, match="duration_s"):
+        ChurnEvent(at_s=0.0, kind=ChurnKind.DSLAM_FAIL)
+    event = _dslam(10.0, 60.0)
+    assert event.kind.is_gateway and event.kind.is_broadcast
+
+
+def test_dslam_fail_compiles_per_gateway():
+    timeline = ChurnTimeline((_dslam(100.0, 50.0),))
+    actions = timeline.compile(num_gateways=3)
+    outs = [a for a in actions if not a.into_service]
+    ins = [a for a in actions if a.into_service]
+    assert [a.entity_id for a in outs] == [0, 1, 2]
+    assert all(a.at_s == 100.0 for a in outs)
+    assert [a.entity_id for a in ins] == [0, 1, 2]
+    assert all(a.at_s == 150.0 for a in ins)
+    with pytest.raises(ValueError, match="num_gateways"):
+        timeline.compile()
+
+
+def test_dslam_fail_touches_no_entity_sets_but_counts_as_churn():
+    timeline = ChurnTimeline((_dslam(100.0, 50.0),))
+    assert timeline.gateway_ids() == set()
+    assert timeline.has_gateway_churn()
+    absent_gateways, absent_clients = timeline.initially_absent()
+    assert absent_gateways == set() and absent_clients == set()
+    # validate_against needs no concrete ids for a broadcast.
+    timeline.validate_against(num_gateways=2, client_ids=[0, 1])
+
+
+def test_dslam_outage_windows_must_not_overlap():
+    with pytest.raises(ValueError, match="overlaps an earlier one"):
+        ChurnTimeline((_dslam(100.0, 50.0), _dslam(120.0, 50.0)))
+    # Back-to-back windows are fine.
+    ChurnTimeline((_dslam(100.0, 50.0), _dslam(150.0, 50.0)))
+
+
+def test_dslam_outage_requires_all_gateways_in_service():
+    with pytest.raises(ValueError, match="must be in service"):
+        ChurnTimeline((
+            _fail(90.0, gateway=1, duration=100.0),  # gateway 1 is down...
+            _dslam(120.0, 30.0),  # ...when the whole DSLAM fails
+        ))
+    # The same individual failure outside the window is fine.
+    ChurnTimeline((_fail(300.0, gateway=1, duration=100.0), _dslam(120.0, 30.0)))
+
+
+def test_dslam_outage_simulation_drops_every_gateway(tmp_path):
+    """During the correlated outage no gateway serves and arriving flows
+    are dropped; after recovery the fleet serves again."""
+    from repro.core.schemes import no_sleep
+    from repro.simulation.runner import run_scheme
+    from repro.sweep.catalog import ScenarioSpec
+
+    spec = ScenarioSpec(
+        label="dslam", num_clients=8, num_gateways=3, duration_s=3600.0,
+        seed=11, churn="dslam-outage",
+    )
+    timeline = build_churn("dslam-outage", num_gateways=3, num_clients=8,
+                           duration_s=3600.0, seed=11)
+    (event,) = timeline.events
+    scenario = spec.build()
+    result = run_scheme(scenario, no_sleep(), seed=21, step_s=5.0, sample_interval_s=30.0)
+    in_window = [
+        count for t, count in zip(result.sample_times, result.online_gateways)
+        if event.at_s + 30.0 <= t < event.at_s + event.duration_s
+    ]
+    after = [
+        count for t, count in zip(result.sample_times, result.online_gateways)
+        if t >= event.at_s + event.duration_s + 60.0
+    ]
+    assert in_window and max(in_window) == 0  # everyone dark together
+    assert after and max(after) == 3  # the no-sleep fleet recovers together
+
+
 def test_none_pattern_and_unknown_pattern():
     assert build_churn(
         "none", num_gateways=4, num_clients=2, duration_s=60.0, seed=0

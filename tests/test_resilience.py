@@ -1,0 +1,237 @@
+"""Resilience tests: deterministic chaos plans, supervised execution,
+retry/rescue semantics, and the bit-identity invariant under injected
+worker crashes, hangs, raises and torn store writes."""
+
+import os
+
+import pytest
+
+from repro.core.schemes import no_sleep, soi
+from repro.resilience.faults import (
+    ChaosConfig,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    build_plan,
+)
+from repro.resilience.supervisor import (
+    RetryPolicy,
+    SweepExecutionError,
+    SweepInterrupted,
+    run_serial_supervised,
+)
+from repro.sweep.catalog import ScenarioFamily, ScenarioSpec
+from repro.sweep.engine import SweepConfig, expand_tasks, run_sweep
+from repro.sweep.store import ResultStore
+
+TINY = ScenarioFamily(
+    name="tiny",
+    description="test family",
+    base=ScenarioSpec(label="tiny", num_clients=6, num_gateways=3, duration_s=900.0, seed=3),
+    grid=(("density", (1.5, 2.5)),),
+)
+SCHEMES = [no_sleep(), soi()]
+CONFIG = SweepConfig(runs_per_scheme=2, step_s=5.0, sample_interval_s=60.0)
+
+
+def store_bytes(root):
+    """Filename -> raw bytes of every record file in a store."""
+    runs = os.path.join(root, "runs")
+    return {
+        name: open(os.path.join(runs, name), "rb").read()
+        for name in os.listdir(runs)
+        if name.endswith(".json")
+    }
+
+
+# ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+def test_chaos_config_parse_and_validation():
+    chaos = ChaosConfig.parse("crash=1, hang=2,raise=1,torn=1", seed=9)
+    assert (chaos.crashes, chaos.hangs, chaos.raises, chaos.torn_writes) == (1, 2, 1, 1)
+    assert chaos.seed == 9 and chaos.total == 5
+    assert ChaosConfig.parse("crash").crashes == 1  # bare kind means one
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        ChaosConfig.parse("explode=1")
+    with pytest.raises(ValueError, match="must be an integer"):
+        ChaosConfig.parse("crash=lots")
+    with pytest.raises(ValueError, match="non-negative"):
+        ChaosConfig(crashes=-1)
+
+
+def test_fault_plan_is_deterministic_and_seed_sensitive():
+    digests = [f"{i:064x}" for i in range(10)]
+    plan_a = build_plan(digests, ChaosConfig(crashes=1, torn_writes=1, seed=5))
+    plan_b = build_plan(digests, ChaosConfig(crashes=1, torn_writes=1, seed=5))
+    assert plan_a == plan_b  # same grid + same seed -> same plan
+    other_seed = build_plan(digests, ChaosConfig(crashes=1, torn_writes=1, seed=6))
+    assert {f.digest for f in plan_a.faults} != {f.digest for f in other_seed.faults}
+    # Victims are distinct: one fault per cell, so retries converge.
+    victims = [f.digest for f in plan_a.faults]
+    assert len(victims) == len(set(victims)) == 2
+
+
+def test_fault_plan_lookup_respects_attempt_binding():
+    plan = FaultPlan(faults=(FaultSpec(digest="d1", kind=FaultKind.CRASH),))
+    assert plan.fault_for("d1", 0) is FaultKind.CRASH
+    assert plan.fault_for("d1", 1) is None  # the retry runs clean
+    assert plan.worker_fault("d1", 0) is FaultKind.CRASH
+    torn = FaultPlan(faults=(FaultSpec(digest="d2", kind=FaultKind.TORN_WRITE),))
+    assert torn.worker_fault("d2", 0) is None  # parent-side kind
+
+
+def test_plan_truncates_to_grid_size():
+    plan = build_plan(["only"], ChaosConfig(crashes=3, hangs=3, seed=1))
+    assert len(plan.faults) == 1  # surplus dropped, never doubled up
+
+
+# ----------------------------------------------------------------------
+# The load-bearing invariant: chaos store == clean serial store, by bytes
+# ----------------------------------------------------------------------
+def test_chaos_battered_parallel_sweep_store_is_bit_identical(tmp_path):
+    """Worker SIGKILL (os._exit), hang, raise and a torn store write all
+    injected into one parallel sweep; the rescued store must match a
+    clean serial run byte for byte (extends the PR 2 kill-resume test)."""
+    clean_dir = tmp_path / "clean"
+    chaos_dir = tmp_path / "chaos"
+    clean = run_sweep(families=[TINY], schemes=SCHEMES, config=CONFIG,
+                      store=ResultStore(clean_dir), workers=1)
+    assert not clean.failures
+    battered = run_sweep(
+        families=[TINY], schemes=SCHEMES, config=CONFIG,
+        store=ResultStore(chaos_dir), workers=2,
+        retry=RetryPolicy(task_timeout_s=30.0, max_retries=3, keep_going=True),
+        chaos=ChaosConfig(crashes=1, hangs=1, raises=1, torn_writes=1, seed=7),
+    )
+    assert not battered.failures
+    assert battered.retries >= 4  # every injected fault cost one attempt
+    assert battered.respawns >= 2  # the crash and the hang killed workers
+    assert store_bytes(clean_dir) == store_bytes(chaos_dir)
+    assert clean.aggregates() == battered.aggregates()
+    # The torn write left exactly the residue a dead writer would: an
+    # orphaned .tmp that the stale-tmp GC (not the record set) owns.
+    tmps = [n for n in os.listdir(chaos_dir / "runs") if n.endswith(".tmp")]
+    assert len(tmps) == 1
+
+
+def test_serial_chaos_demotes_faults_and_stays_bit_identical(tmp_path):
+    clean_dir = tmp_path / "clean"
+    chaos_dir = tmp_path / "chaos"
+    clean = run_sweep(families=[TINY], schemes=SCHEMES, config=CONFIG,
+                      store=ResultStore(clean_dir), workers=1)
+    battered = run_sweep(
+        families=[TINY], schemes=SCHEMES, config=CONFIG,
+        store=ResultStore(chaos_dir), workers=1,
+        retry=RetryPolicy(max_retries=1),
+        chaos=ChaosConfig(crashes=1, raises=1, torn_writes=1, seed=3),
+    )
+    assert not battered.failures and battered.retries == 3
+    assert store_bytes(clean_dir) == store_bytes(chaos_dir)
+    assert clean.aggregates() == battered.aggregates()
+
+
+# ----------------------------------------------------------------------
+# Failure ledger, keep-going, abort
+# ----------------------------------------------------------------------
+def test_exhausted_retries_abort_without_keep_going():
+    with pytest.raises(SweepExecutionError) as excinfo:
+        run_sweep(
+            families=[TINY], schemes=SCHEMES, config=CONFIG, workers=1,
+            retry=RetryPolicy(max_retries=0),
+            chaos=ChaosConfig(raises=1, seed=2),
+        )
+    assert len(excinfo.value.failures) == 1
+    assert "tiny" in str(excinfo.value)
+
+
+def test_keep_going_yields_partial_aggregates_and_ledger(tmp_path):
+    result = run_sweep(
+        families=[TINY], schemes=SCHEMES, config=CONFIG, workers=1,
+        store=ResultStore(tmp_path),
+        retry=RetryPolicy(max_retries=0, keep_going=True),
+        chaos=ChaosConfig(raises=2, seed=2),
+    )
+    assert len(result.failures) == 2
+    assert all(f.kind == "error" for f in result.failures)
+    assert all(f.attempts == 1 for f in result.failures)
+    failed = {f.digest for f in result.failures}
+    assert failed.isdisjoint(result.records)
+    # Aggregates skip the failed cells instead of zero-filling them.
+    rows = result.aggregates()
+    assert rows  # the surviving cells still aggregate
+    total_runs = sum(int(row["runs"]) for row in rows)
+    assert total_runs == result.total_runs - len(result.failures)
+    # The failed cells are resumable: a retry-free re-run completes them.
+    rescue = run_sweep(families=[TINY], schemes=SCHEMES, config=CONFIG,
+                       workers=1, store=ResultStore(tmp_path))
+    assert not rescue.failures
+    assert rescue.executed == len(failed)
+
+
+def test_supervised_retry_reuses_the_same_task_seed():
+    tasks = expand_tasks([TINY], SCHEMES, CONFIG)
+    attempts = []
+
+    def execute(task):
+        attempts.append(task.seed)
+        if len(attempts) == 1:
+            raise RuntimeError("first attempt dies")
+        return task
+
+    def persist(record, attempt):
+        pass
+
+    outcome = run_serial_supervised(
+        tasks[:1], execute, persist, RetryPolicy(max_retries=1)
+    )
+    assert not outcome.failures and outcome.retries == 1
+    assert attempts[0] == attempts[1]  # the retry is the *same* task
+
+
+def test_keyboard_interrupt_surfaces_persisted_count(tmp_path):
+    tasks = expand_tasks([TINY], SCHEMES, CONFIG)
+    done = []
+
+    def execute(task):
+        if len(done) == 2:
+            raise KeyboardInterrupt
+        return task
+
+    def persist(record, attempt):
+        done.append(record.digest)
+
+    with pytest.raises(SweepInterrupted) as excinfo:
+        run_serial_supervised(tasks, execute, persist, RetryPolicy())
+    assert excinfo.value.completed == 2
+    assert excinfo.value.outstanding == len(tasks) - 2
+
+
+# ----------------------------------------------------------------------
+# Supervisor internals: timeout and dead-worker rescue in the pool
+# ----------------------------------------------------------------------
+def test_hang_is_killed_by_timeout_and_rescued(tmp_path):
+    result = run_sweep(
+        families=[TINY], schemes=SCHEMES, config=CONFIG,
+        store=ResultStore(tmp_path), workers=2,
+        retry=RetryPolicy(task_timeout_s=10.0, max_retries=2),
+        chaos=ChaosConfig(hangs=1, seed=11),
+    )
+    assert not result.failures
+    assert result.respawns >= 1 and result.retries >= 1
+    assert len(result.records) == result.total_runs
+
+
+def test_degrades_to_serial_when_the_pool_keeps_dying(tmp_path):
+    # Four crashes against a respawn budget of one: the supervisor must
+    # give up on process isolation and finish the grid in-parent (where
+    # crash faults demote to raises and the retry budget rescues them).
+    result = run_sweep(
+        families=[TINY], schemes=SCHEMES, config=CONFIG,
+        store=ResultStore(tmp_path), workers=2,
+        retry=RetryPolicy(max_retries=3, max_pool_respawns=1, keep_going=True),
+        chaos=ChaosConfig(crashes=4, seed=13),
+    )
+    assert result.degraded
+    assert not result.failures
+    assert len(result.records) == result.total_runs

@@ -93,6 +93,67 @@ def test_gc_without_rules_only_collects_tombstones(store):
 def test_gc_validates_max_age(store):
     with pytest.raises(ValueError, match="max_age_days"):
         store.gc(max_age_days=-1)
+    with pytest.raises(ValueError, match="tmp_grace_s"):
+        store.gc(tmp_grace_s=-1)
+
+
+# ----------------------------------------------------------------------
+# Orphaned .tmp sweeping (a writer died between mkstemp and os.replace)
+# ----------------------------------------------------------------------
+def _orphan_tmp(store, digest, age_s=0.0):
+    path = store.runs_dir / f".{digest[:12]}-orphan.tmp"
+    path.write_text('{"digest": "%s", "metri' % digest)
+    if age_s:
+        stamp = time.time() - age_s
+        os.utime(path, (stamp, stamp))
+    return path
+
+
+def test_gc_sweeps_stale_tmps_but_spares_fresh_ones(store):
+    stale = _orphan_tmp(store, "e" * 64, age_s=7200.0)
+    fresh = _orphan_tmp(store, "f" * 64)  # may be an in-flight put
+    report = store.gc()
+    assert report.examined == 5  # 3 records + 2 tmp files
+    assert [c.filename for c in report.candidates] == [stale.name]
+    assert "orphaned tmp" in report.candidates[0].reason
+    assert stale.exists()  # dry run touches nothing
+    applied = store.gc(apply=True)
+    assert applied.removed == 1
+    assert not stale.exists() and fresh.exists()
+    assert len(store.known_digests()) == 3  # records untouched
+
+
+def test_gc_tmp_grace_is_tunable(store):
+    orphan = _orphan_tmp(store, "e" * 64, age_s=30.0)
+    assert not store.gc().candidates  # default grace spares it
+    report = store.gc(tmp_grace_s=0.0, apply=True)
+    assert report.removed == 1 and not orphan.exists()
+
+
+def test_rebuild_manifest_sweeps_stale_tmps(store):
+    stale = _orphan_tmp(store, "e" * 64, age_s=7200.0)
+    fresh = _orphan_tmp(store, "f" * 64)
+    store.rebuild_manifest()
+    assert not stale.exists() and fresh.exists()
+    assert len(store.known_digests()) == 3
+
+
+def test_stale_manifest_cold_open_heals_orphan_tmps(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.put(_record("a" * 64))
+    stale = _orphan_tmp(store, "e" * 64, age_s=7200.0)
+    store.manifest_path.unlink()  # stale manifest forces the lazy rebuild
+    cold = ResultStore(store.root)
+    assert cold.known_digests() == {"a" * 64}
+    assert not stale.exists()
+
+
+def test_tmp_files_do_not_break_manifest_staleness_check(store):
+    _orphan_tmp(store, "e" * 64)
+    # The record-file count ignores .tmp files, so the manifest still
+    # matches and no rebuild (which would resweep) is triggered.
+    cold = ResultStore(store.root)
+    assert len(cold.known_digests()) == 3
 
 
 # ----------------------------------------------------------------------
@@ -118,6 +179,23 @@ def test_cli_sweep_gc_dry_run_then_apply(tmp_path, capsys):
 def test_cli_sweep_gc_rejects_negative_age(tmp_path, capsys):
     assert main(["sweep", "gc", "--out", str(tmp_path), "--max-age-days", "-2"]) == 2
     assert "--max-age-days" in capsys.readouterr().err
+
+
+def test_cli_sweep_gc_rejects_negative_tmp_grace(tmp_path, capsys):
+    assert main(["sweep", "gc", "--out", str(tmp_path), "--tmp-grace", "-1"]) == 2
+    assert "--tmp-grace" in capsys.readouterr().err
+
+
+def test_cli_sweep_gc_tmp_grace_flag(tmp_path, capsys):
+    store = ResultStore(tmp_path / "store")
+    store.put(_record("a" * 64, family="smoke"))
+    orphan = _orphan_tmp(store, "e" * 64, age_s=30.0)
+    assert main(["sweep", "gc", "--out", str(store.root),
+                 "--tmp-grace", "0", "--apply"]) == 0
+    out = capsys.readouterr().out
+    assert "orphaned tmp" in out and orphan.name in out
+    assert not orphan.exists()
+    assert store.digests() == ["a" * 64]
 
 
 def test_cli_schemes_lists_axes(capsys):
