@@ -15,7 +15,9 @@ new kernel.
 """
 
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -38,6 +40,20 @@ BENCH_SEED = 2011
 RUN_SEED = 1
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def _git_sha():
+    """The benchmarked commit's short sha; None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10.0, check=False,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
 
 
 @pytest.fixture(scope="module")
@@ -110,10 +126,16 @@ def test_bench_perf_kernel(bench_scenario):
             "run_seed": RUN_SEED,
             "schemes": len(per_scheme),
         },
+        # Provenance: strings are ignored by the perf baseline loader
+        # (it keeps only numeric cells), so adding fields here cannot
+        # break an already-committed baselines/perf.json.
         "environment": {
             "python": sys.version.split()[0],
             "numpy": np.__version__,
             "machine": platform.machine(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "git_sha": _git_sha(),
         },
         "aggregate": {
             "seed_kernel_s": round(total_reference, 3),

@@ -144,6 +144,12 @@ class GatewayArray:
         #: Bumped on every state change; callers cache derived structures
         #: (online sets, DSLAM wiring, device counts) against it.
         self.version = 0
+        #: Optional transition log for the obs layer: while a list is
+        #: attached, every state change appends
+        #: ``(now, gateway_id, old_state, new_state)``.  ``None`` (the
+        #: default) costs one identity check per *transition* — never per
+        #: step — and nothing else.
+        self.transition_log: Optional[List[Tuple[float, int, int, int]]] = None
 
         self.active_count = self.state.count(STATE_ACTIVE)
         self.waking_count = 0
@@ -209,6 +215,9 @@ class GatewayArray:
         elif new_state == STATE_WAKING:
             self.waking_count += 1
         self.version += 1
+        log = self.transition_log
+        if log is not None:
+            log.append((now, gateway_id, old_state, new_state))
 
     def request_wake(self, gateway_id: int, now: float) -> None:
         """Ask a sleeping gateway to power on; waking/active ones ignore it.

@@ -9,6 +9,7 @@ Commands
 ``sweep``      run the scenario-catalog sweep (cached, resumable)
 ``sweep gc``   trim the sweep result store (dry run by default)
 ``regress``    check/update committed metric baselines and Pareto fronts
+``obs``        trace a run, summarise sweep timings, export Perfetto traces
 ``wattopt``    count-vs-watt objective gap of the watt-aware schemes
 ``fleet``      inspect gateway generations, fleet mixes and churn patterns
 ``figure``     regenerate the data behind one of the paper's figures
@@ -118,6 +119,16 @@ def _add_sweep_parser(subparsers) -> None:
     )
     parser.add_argument("--json", action="store_true",
                         help="print the sweep result as JSON instead of tables")
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="record a structured trace of the sweep and write it here: "
+        "a .jsonl path gets JSONL events, anything else Chrome "
+        "trace-event JSON loadable in Perfetto (sim-time kernel events "
+        "are captured on serial sweeps; wall-clock spans always)",
+    )
     resilience = parser.add_argument_group(
         "resilience",
         "supervised execution: timeouts, retries, and deterministic chaos "
@@ -264,7 +275,7 @@ def _add_regress_parser(subparsers) -> None:
         "metric change; 'pareto' prints/exports the fronts.",
     )
     regress_sub = parser.add_subparsers(
-        dest="regress_command", required=True, metavar="check|update|pareto"
+        dest="regress_command", required=True, metavar="check|update|pareto|history"
     )
 
     check = regress_sub.add_parser(
@@ -293,6 +304,8 @@ def _add_regress_parser(subparsers) -> None:
                        help="tabulate identical/within-tolerance cells too")
     check.add_argument("--json", action="store_true",
                        help="print the machine-readable report as JSON")
+    check.add_argument("--no-history", action="store_true",
+                       help="do not append this run to baselines/history.jsonl")
 
     update = regress_sub.add_parser(
         "update",
@@ -318,6 +331,94 @@ def _add_regress_parser(subparsers) -> None:
                         help="write the fronts payload as JSON here")
     pareto.add_argument("--json", action="store_true",
                         help="print the fronts payload as JSON")
+
+    history = regress_sub.add_parser(
+        "history",
+        help="print the gate's historical trajectory",
+        description="Print the baselines/history.jsonl ledger that "
+        "'regress check' appends to — one record per gate run with its "
+        "timestamp, commit sha, verdict and per-family metric-cell "
+        "counts, so coverage shrinkage is visible over time.",
+    )
+    history.add_argument(
+        "--baselines",
+        type=str,
+        default="baselines",
+        metavar="DIR",
+        help="committed baseline directory (default: ./baselines)",
+    )
+    history.add_argument("--last", type=int, default=None, metavar="N",
+                        help="show only the most recent N records")
+    history.add_argument("--json", action="store_true",
+                        help="print the records as JSON")
+
+
+def _add_obs_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "obs",
+        help="trace a run, summarise sweep timings, export Perfetto traces",
+        description="The observability toolbox: 'trace' runs one traced "
+        "simulation and exports its structured event trace; 'summary' "
+        "tabulates the per-run timings.jsonl ledger a sweep store keeps "
+        "beside its manifest; 'export' converts a JSONL event trace to "
+        "Chrome trace-event JSON loadable in Perfetto or chrome://tracing.",
+    )
+    obs_sub = parser.add_subparsers(
+        dest="obs_command", required=True, metavar="trace|summary|export"
+    )
+
+    trace = obs_sub.add_parser(
+        "trace",
+        help="run one traced simulation and export the trace",
+        description="Run a single scheme over the evaluation scenario with "
+        "a SimTracer attached (traced runs are bit-identical to untraced "
+        "ones), write the trace, and print its event counts.",
+    )
+    trace.add_argument("--scheme", type=str, default="BH2+k-switch",
+                       help=f"scheme to trace; known: {', '.join(all_schemes())}")
+    trace.add_argument("--clients", type=int, default=68)
+    trace.add_argument("--gateways", type=int, default=10)
+    trace.add_argument("--hours", type=float, default=4.0)
+    trace.add_argument("--step", type=float, default=2.0)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--max-events", type=int, default=None, metavar="N",
+                       help="trace buffer bound (excess events are counted, "
+                       "not stored; default: 200000)")
+    trace.add_argument(
+        "--output",
+        type=str,
+        default="trace.json",
+        metavar="PATH",
+        help="where to write the trace: a .jsonl path gets JSONL events, "
+        "anything else Chrome trace-event JSON (default: ./trace.json)",
+    )
+
+    summary = obs_sub.add_parser(
+        "summary",
+        help="tabulate a sweep store's timings.jsonl ledger",
+        description="Aggregate the per-run build/run wall-clock ledger of "
+        "a sweep result store per family x scheme: runs, attempts, and "
+        "where the wall-clock went.",
+    )
+    summary.add_argument(
+        "--out",
+        type=str,
+        default="sweep-results",
+        metavar="DIR",
+        help="result-store directory shared with 'sweep' (default: ./sweep-results)",
+    )
+    summary.add_argument("--json", action="store_true",
+                         help="print the aggregate rows as JSON")
+
+    export = obs_sub.add_parser(
+        "export",
+        help="convert a JSONL trace to Chrome trace-event JSON",
+        description="Convert a JSONL event trace (from 'obs trace' or "
+        "'sweep --trace') into Chrome trace-event JSON loadable in "
+        "Perfetto; torn or malformed lines are skipped, not fatal.",
+    )
+    export.add_argument("input", help="JSONL trace to read")
+    export.add_argument("output", help="Chrome trace-event JSON to write")
 
 
 def _add_schemes_parser(subparsers) -> None:
@@ -423,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_schemes_parser(subparsers)
     _add_sweep_parser(subparsers)
     _add_regress_parser(subparsers)
+    _add_obs_parser(subparsers)
     _add_wattopt_parser(subparsers)
     _add_fleet_parser(subparsers)
     _add_figure_parser(subparsers)
@@ -702,6 +804,11 @@ def _cmd_sweep(args) -> int:
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    tracer = None
+    if args.trace:
+        from repro.obs import SimTracer
+
+        tracer = SimTracer()
     try:
         result = run_sweep(
             family_names=args.family,
@@ -714,6 +821,7 @@ def _cmd_sweep(args) -> int:
             use_cache=args.resume,
             retry=retry,
             chaos=chaos,
+            tracer=tracer,
         )
     except SweepInterrupted as exc:
         print(f"\ninterrupted: {exc.completed} fresh run(s) were persisted to "
@@ -732,6 +840,8 @@ def _cmd_sweep(args) -> int:
         print("completed runs are persisted; pass --keep-going for partial "
               "aggregates, or re-run to resume from the store", file=sys.stderr)
         return 1
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     if args.json:
         print(sweep_to_json(result))
     else:
@@ -743,6 +853,150 @@ def _cmd_sweep(args) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _write_trace(tracer, path: str) -> None:
+    """Write a recorded trace: ``.jsonl`` paths get JSONL, else Chrome JSON."""
+    if path.endswith(".jsonl"):
+        tracer.write_jsonl(path)
+    else:
+        tracer.write_chrome(path)
+    dropped = f", {tracer.dropped} dropped" if tracer.dropped else ""
+    print(f"trace written to {path} ({len(tracer.events)} events{dropped})",
+          file=sys.stderr)
+
+
+def _cmd_obs_trace(args) -> int:
+    from repro.obs import SimTracer
+    from repro.simulation.runner import run_scheme
+
+    scheme = all_schemes().get(args.scheme)
+    if scheme is None:
+        print(f"unknown scheme '{args.scheme}'; known schemes: "
+              f"{', '.join(all_schemes())}", file=sys.stderr)
+        return 2
+    for flag, value in [("--clients", args.clients), ("--gateways", args.gateways),
+                        ("--hours", args.hours), ("--step", args.step)]:
+        if value <= 0:
+            print(f"{flag} must be positive (got {value})", file=sys.stderr)
+            return 2
+    scale = figures.EvaluationScale(
+        num_clients=args.clients,
+        num_gateways=args.gateways,
+        duration_s=args.hours * 3600.0,
+        step_s=args.step,
+        seed=args.seed,
+    )
+    scenario = figures.build_scenario(scale)
+    tracer = SimTracer(**({} if args.max_events is None
+                          else {"max_events": args.max_events}))
+    with tracer.wall_span("kernel.run", cat="cli", scheme=scheme.name):
+        result = run_scheme(
+            scenario, scheme, seed=args.seed, step_s=args.step, tracer=tracer
+        )
+    _write_trace(tracer, args.output)
+    print(report.render_key_values({
+        "scheme": scheme.name,
+        "steps_taken": result.steps_taken,
+        "mean_savings_percent": 100.0 * result.mean_savings(),
+        "solver_invocations": result.solver_invocations,
+        "bh2_rounds": result.bh2_rounds,
+        "events_recorded": len(tracer.events),
+        "events_dropped": tracer.dropped,
+    }, title="Traced run"))
+    counts = tracer.counts()
+    if counts:
+        print()
+        print(report.format_table(
+            ["event", "count"], [[name, count] for name, count in counts.items()]
+        ))
+    return 0
+
+
+def _cmd_obs_summary(args) -> int:
+    from repro.sweep import ResultStore
+
+    store = ResultStore(args.out)
+    entries = store.read_timings()
+    groups: dict = {}
+    order: list = []
+    for entry in entries:
+        key = (str(entry.get("family", "-")), str(entry.get("scheme", "-")))
+        if key not in groups:
+            groups[key] = {"runs": 0, "attempts": 0, "build_s": 0.0, "run_s": 0.0}
+            order.append(key)
+        group = groups[key]
+        group["runs"] += 1
+        group["attempts"] += int(entry.get("attempt", 0)) + 1
+        group["build_s"] += float(entry.get("build_s", 0.0))
+        group["run_s"] += float(entry.get("run_s", 0.0))
+    rows = [
+        {
+            "family": family,
+            "scheme": scheme,
+            "runs": groups[(family, scheme)]["runs"],
+            "attempts": groups[(family, scheme)]["attempts"],
+            "build_s": round(groups[(family, scheme)]["build_s"], 6),
+            "run_s": round(groups[(family, scheme)]["run_s"], 6),
+        }
+        for family, scheme in order
+    ]
+    if args.json:
+        print(json.dumps({
+            "ledger": str(store.timings_path),
+            "entries": len(entries),
+            "groups": rows,
+        }, indent=1, sort_keys=True))
+        return 0
+    if not rows:
+        print(f"no timing ledger at {store.timings_path} — run a sweep "
+              "against this store first")
+        return 0
+    print(report.format_table(
+        ["family", "scheme", "runs", "attempts", "build s", "run s"],
+        [
+            [row["family"], row["scheme"], row["runs"], row["attempts"],
+             row["build_s"], row["run_s"]]
+            for row in rows
+        ],
+        precision=3,
+    ))
+    print(report.render_key_values({
+        "ledger": str(store.timings_path),
+        "entries": len(entries),
+        "total_build_s": round(sum(row["build_s"] for row in rows), 3),
+        "total_run_s": round(sum(row["run_s"] for row in rows), 3),
+    }, title="Sweep timing ledger"))
+    return 0
+
+
+def _cmd_obs_export(args) -> int:
+    from pathlib import Path as _Path
+
+    from repro.obs import chrome_trace_from_events, read_jsonl_events
+
+    try:
+        events = read_jsonl_events(args.input)
+    except OSError as error:
+        print(f"cannot read {args.input!r}: {error}", file=sys.stderr)
+        return 2
+    payload = chrome_trace_from_events(events)
+    _Path(args.output).write_text(
+        json.dumps(payload, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output} ({len(events)} events)")
+    if not events:
+        print(f"warning: no parseable events in {args.input}", file=sys.stderr)
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    handlers = {
+        "trace": _cmd_obs_trace,
+        "summary": _cmd_obs_summary,
+        "export": _cmd_obs_export,
+    }
+    return handlers[args.obs_command](args)
 
 
 def _load_bench_payload(path: str):
@@ -757,6 +1011,16 @@ def _load_bench_payload(path: str):
 def _cmd_regress(args) -> int:
     from repro.regress import runner as regress_runner
     from repro.sweep import ResultStore, SweepConfig
+
+    if args.regress_command == "history":
+        records = regress_runner.load_history(args.baselines)
+        if args.last is not None and args.last > 0:
+            records = records[-args.last:]
+        if args.json:
+            print(json.dumps(records, indent=1, sort_keys=True))
+        else:
+            print(regress_runner.render_history(records))
+        return 0
 
     families = args.family or regress_runner.default_family_names()
     error = _validate_sweep_args(args, families)
@@ -817,6 +1081,7 @@ def _cmd_regress(args) -> int:
               file=sys.stderr)
         return 2
     report_ = RegressReport(strict=args.strict)
+    result = None
     if not (args.no_families and args.no_pareto):
         result = sweep()
         if not args.no_families:
@@ -832,6 +1097,13 @@ def _cmd_regress(args) -> int:
     if bench_payload is not None:
         report_.baselines.append("perf")
         report_.extend(regress_runner.check_perf(bench_payload, args.baselines))
+    if not args.no_history:
+        regress_runner.append_history(
+            regress_runner.history_record(
+                report_, result, [] if args.no_families else families
+            ),
+            args.baselines,
+        )
     if args.report:
         from pathlib import Path as _Path
 
@@ -971,6 +1243,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "schemes": _cmd_schemes,
         "sweep": _cmd_sweep,
         "regress": _cmd_regress,
+        "obs": _cmd_obs,
         "wattopt": _cmd_wattopt,
         "fleet": _cmd_fleet,
         "figure": _cmd_figure,

@@ -181,6 +181,11 @@ class FlowScheduler:
         self._next_completion = inf
         #: Global admission counter (stamps ActiveFlow.admission_index).
         self._admit_counter = 0
+        #: Rate-cache accounting: how many per-gateway recomputations ran
+        #: (O(changes) sites only) vs. ``ensure_rates`` calls fully served
+        #: by the cache.  Plain integers the obs layer reads post-run.
+        self.rate_recomputes = 0
+        self.rate_cache_hits = 0
 
     # ------------------------------------------------------------------
     @property
@@ -333,6 +338,7 @@ class FlowScheduler:
         """
         if backhaul_bps is not None:
             self._online_members = set(online_gateways)
+            self.rate_recomputes += len(self._groups)
             for gateway_id in self._groups:
                 self._recompute_gateway(gateway_id, now, backhaul_bps)
             self._dirty = set(self._groups)
@@ -349,7 +355,9 @@ class FlowScheduler:
             self._online_ref = online_gateways
             self._online_members = set(online_gateways)
         if not self._dirty:
+            self.rate_cache_hits += 1
             return
+        self.rate_recomputes += len(self._dirty)
         groups = self._groups
         gw_completion = self._gw_completion
         online = self._online_members

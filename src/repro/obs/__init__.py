@@ -1,0 +1,42 @@
+"""Observability substrate: structured tracing, metrics, profiling.
+
+Three pillars, all opt-in and all observation-only:
+
+- :class:`~repro.obs.tracer.SimTracer` — a bounded buffer of structured
+  events on two clocks (simulated seconds and wall-clock seconds),
+  exportable as JSONL and as Chrome trace-event JSON loadable in
+  Perfetto.  The simulator emits sim-time events (gateway sleep/wake/
+  boot segments, BH2 decision rounds, churn/rescue/drop, stretched
+  steps); the sweep engine and supervisor emit wall-clock spans (trace
+  build, kernel run, store put, retries/respawns).
+- :class:`~repro.obs.metrics.MetricsRegistry` — a process-local registry
+  of counters/gauges/histograms whose plain-dict snapshots workers ship
+  back to the parent, where the engine merges them into the sweep-wide
+  view surfaced by ``repro-access sweep`` tables and ``--json``.
+- the ``timings.jsonl`` ledger — one line per executed-and-persisted
+  run, written beside ``manifest.jsonl`` by the store, summarised by
+  ``repro-access obs summary``.
+
+Guard rail: with observability off there is zero work on the hot path —
+no tracer object exists, the kernel keeps only the plain integer event
+counters it always kept, and the gateway transition log stays ``None``.
+With it on, instrumentation only *reads* simulation state, so traced
+results are bit-identical to untraced ones.
+"""
+
+from repro.obs.metrics import MetricsRegistry, kernel_snapshot
+from repro.obs.tracer import (
+    SimTracer,
+    add_gateway_segments,
+    chrome_trace_from_events,
+    read_jsonl_events,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "SimTracer",
+    "add_gateway_segments",
+    "chrome_trace_from_events",
+    "kernel_snapshot",
+    "read_jsonl_events",
+]

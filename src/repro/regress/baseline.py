@@ -285,7 +285,14 @@ def baseline_from_aggregates(
 def perf_cells_from_bench(
     payload: Mapping[str, object],
 ) -> Dict[str, Dict[str, float]]:
-    """Observed perf cells from a ``BENCH_perf.json`` payload."""
+    """Observed perf cells from a ``BENCH_perf.json`` payload.
+
+    Only the ``aggregate`` and ``per_scheme`` blocks become cells, and
+    only their numeric values: the ``benchmark`` and ``environment``
+    blocks are provenance (python version, platform, cpu count, git
+    sha), which the gate must ignore — baselines travel between
+    machines.
+    """
     cells: Dict[str, Dict[str, float]] = {}
     aggregate = payload.get("aggregate", {})
     cells["aggregate"] = {

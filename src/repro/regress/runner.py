@@ -10,6 +10,8 @@ report.  ``update`` re-exports the committed files from the same sweep.
 from __future__ import annotations
 
 import json
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence
 
@@ -167,6 +169,110 @@ def _load_pareto_payload(baselines_dir: str) -> Optional[Mapping[str, object]]:
     except OSError:
         return None
     return json.loads(text)
+
+
+# ----------------------------------------------------------------------
+# History
+# ----------------------------------------------------------------------
+#: Append-only trajectory of gate runs, committed beside the baselines.
+HISTORY_NAME = "history.jsonl"
+
+
+def history_path(baselines_dir: str) -> Path:
+    """Where the gate trajectory ledger lives."""
+    return Path(baselines_dir) / HISTORY_NAME
+
+
+def git_sha() -> Optional[str]:
+    """The checkout's short commit sha; ``None`` outside a git work tree."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10.0, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def history_record(
+    report: RegressReport,
+    result: Optional[SweepResult],
+    family_names: Sequence[str],
+) -> Dict[str, object]:
+    """One ledger line summarising a gate run.
+
+    Records when the gate ran, at which commit, its verdict, and how many
+    metric cells each family contributed — enough to spot coverage
+    shrinking or a family silently dropping out of the gate over time.
+    """
+    families: Dict[str, int] = {}
+    if result is not None:
+        rows_by_family = aggregates_by_family(result)
+        for family in family_names:
+            families[str(family)] = len(
+                cells_from_aggregates(rows_by_family.get(family, []))
+            )
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": git_sha(),
+        "verdict": "PASS" if report.ok else "REGRESSED",
+        "families": families,
+        "counts": {status: count for status, count in report.counts().items() if count},
+    }
+
+
+def append_history(record: Mapping[str, object], baselines_dir: str) -> Path:
+    """Append one record to ``baselines/history.jsonl`` (created on demand)."""
+    path = history_path(baselines_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(baselines_dir: str) -> List[Dict[str, object]]:
+    """Every parseable ledger record, oldest first (tolerant of torn lines)."""
+    try:
+        lines = history_path(baselines_dir).read_text().splitlines()
+    except OSError:
+        return []
+    records: List[Dict[str, object]] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def render_history(records: Sequence[Mapping[str, object]]) -> str:
+    """The gate trajectory as a table, oldest first."""
+    if not records:
+        return ("no gate history yet: 'repro-access regress check' appends "
+                "one record per run to baselines/history.jsonl")
+    rows = []
+    for record in records:
+        families = record.get("families") or {}
+        per_family = ", ".join(
+            f"{name}={count}" for name, count in sorted(families.items())
+        )
+        rows.append([
+            record.get("timestamp", "-"),
+            record.get("git_sha") or "-",
+            record.get("verdict", "-"),
+            sum(int(count) for count in families.values()),
+            per_family or "-",
+        ])
+    return text_report.format_table(
+        ["timestamp", "sha", "verdict", "cells", "per-family cells"], rows
+    )
 
 
 # ----------------------------------------------------------------------

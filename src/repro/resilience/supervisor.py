@@ -117,7 +117,26 @@ class SupervisedOutcome:
     failures: List[TaskFailure] = field(default_factory=list)
     retries: int = 0
     respawns: int = 0
+    timeouts: int = 0
     degraded: bool = False
+    #: Per-digest execution accounting: ``{"attempts": n, "wall_s": s}``
+    #: where ``wall_s`` accumulates parent-observed wall-clock time across
+    #: every attempt (including failed ones) of that grid cell.
+    task_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def note_attempt(self, digest: str, attempt: int, elapsed_s: float) -> None:
+        """Fold one attempt's wall time into the per-task accounting."""
+        stats = self.task_stats.get(digest)
+        if stats is None:
+            stats = {"attempts": 0, "wall_s": 0.0}
+            self.task_stats[digest] = stats
+        stats["attempts"] = max(stats["attempts"], attempt + 1)
+        stats["wall_s"] += elapsed_s
+
+
+def _cell(task) -> str:
+    """Human-readable grid-cell name of a task (for trace events)."""
+    return f"{task.family}/{task.spec.label}/{task.scheme.name}#{task.run_index}"
 
 
 def _failure(task, attempt: int, kind: str, reason: str) -> TaskFailure:
@@ -174,6 +193,7 @@ class _WorkerHandle:
         self.task = None
         self.attempt = 0
         self.deadline: Optional[float] = None
+        self.assigned_pc = 0.0
 
     @property
     def busy(self) -> bool:
@@ -185,6 +205,7 @@ class _WorkerHandle:
         self.deadline = (
             now + policy.task_timeout_s if policy.task_timeout_s is not None else None
         )
+        self.assigned_pc = time.perf_counter()
         self.inbox.put((task, attempt))
 
     def clear(self) -> None:
@@ -215,6 +236,7 @@ def run_serial_supervised(
     policy: RetryPolicy,
     plan: Optional[FaultPlan] = None,
     start_attempts: Optional[Dict[str, int]] = None,
+    tracer=None,
 ) -> SupervisedOutcome:
     """In-process supervised execution (``workers=1`` and degraded mode).
 
@@ -224,11 +246,13 @@ def run_serial_supervised(
     the retry machinery without taking the parent down.  ``start_attempts``
     lets the degraded path continue each task's attempt count from where
     the pooled phase left it, keeping fault-at-attempt semantics intact.
+    ``tracer`` optionally records wall-clock task spans and retry events.
     """
     outcome = SupervisedOutcome()
     for task in tasks:
         attempt = (start_attempts or {}).get(task.digest, 0)
         while True:
+            started_pc = time.perf_counter()
             try:
                 if plan is not None:
                     kind = plan.worker_fault(task.digest, attempt)
@@ -246,8 +270,17 @@ def run_serial_supervised(
                     outstanding=len(tasks) - resolved,
                 ) from None
             except Exception as exc:  # noqa: BLE001 — ledger, maybe retry
+                outcome.note_attempt(
+                    task.digest, attempt, time.perf_counter() - started_pc
+                )
                 if attempt < policy.max_retries:
                     delay = policy.backoff_s(attempt)
+                    if tracer is not None:
+                        tracer.event(
+                            "supervisor.retry", time.perf_counter(),
+                            clock="wall", cat="supervisor",
+                            cell=_cell(task), attempt=attempt, backoff_s=delay,
+                        )
                     if delay > 0:
                         time.sleep(delay)
                     attempt += 1
@@ -260,6 +293,14 @@ def run_serial_supervised(
                     raise SweepExecutionError(outcome.failures) from exc
                 break
             else:
+                ended_pc = time.perf_counter()
+                outcome.note_attempt(task.digest, attempt, ended_pc - started_pc)
+                if tracer is not None:
+                    tracer.span(
+                        "task.run", started_pc, ended_pc,
+                        clock="wall", cat="supervisor",
+                        cell=_cell(task), attempt=attempt,
+                    )
                 outcome.records[task.digest] = record
                 break
     return outcome
@@ -273,6 +314,7 @@ def run_supervised(
     plan: Optional[FaultPlan] = None,
     workers: int = 2,
     mp_context: Optional[str] = None,
+    tracer=None,
 ) -> SupervisedOutcome:
     """Execute tasks on a supervised worker pool.
 
@@ -281,6 +323,8 @@ def run_supervised(
     attempt (this is where torn-write injection lives).  Tasks keep their
     submission order on first assignment, so a worker's per-process
     scenario cache stays warm across a spec's contiguous cells.
+    ``tracer`` records parent-side wall-clock spans (assignment to
+    resolution, one Perfetto track per worker) and retry/respawn events.
     """
     if workers < 2:
         raise ValueError("run_supervised needs >= 2 workers; use run_serial_supervised")
@@ -313,6 +357,13 @@ def run_supervised(
         if attempt < policy.max_retries:
             outcome.retries += 1
             delay = policy.backoff_s(attempt)
+            if tracer is not None:
+                tracer.event(
+                    "supervisor.retry", time.perf_counter(),
+                    clock="wall", cat="supervisor",
+                    cell=_cell(task), attempt=attempt, kind=kind,
+                    backoff_s=delay,
+                )
             if delay > 0:
                 waiting_seq += 1
                 heapq.heappush(
@@ -340,6 +391,14 @@ def run_supervised(
         ):
             return  # late message from a worker we already killed/reassigned
         task = handle.task
+        resolved_pc = time.perf_counter()
+        outcome.note_attempt(digest, attempt, resolved_pc - handle.assigned_pc)
+        if tracer is not None:
+            tracer.span(
+                "task.run", handle.assigned_pc, resolved_pc,
+                clock="wall", cat="supervisor", tid=worker_id,
+                cell=_cell(task), attempt=attempt, status=status,
+            )
         handle.clear()
         if status == "ok":
             try:
@@ -391,9 +450,20 @@ def run_supervised(
             for handle in list(pool.values()):
                 if handle.busy and handle.deadline is not None and now > handle.deadline:
                     task, attempt = handle.task, handle.attempt
+                    outcome.note_attempt(
+                        task.digest, attempt,
+                        time.perf_counter() - handle.assigned_pc,
+                    )
                     del pool[handle.id]
                     handle.stop(kill=True)
                     outcome.respawns += 1
+                    outcome.timeouts += 1
+                    if tracer is not None:
+                        tracer.event(
+                            "supervisor.timeout", time.perf_counter(),
+                            clock="wall", cat="supervisor", tid=handle.id,
+                            cell=_cell(task), attempt=attempt,
+                        )
                     spawn()
                     requeue(
                         task, attempt, "timeout",
@@ -413,8 +483,19 @@ def run_supervised(
                     code = handle.process.exitcode
                     handle.stop(kill=True)
                     outcome.respawns += 1
+                    if tracer is not None:
+                        tracer.event(
+                            "supervisor.respawn", time.perf_counter(),
+                            clock="wall", cat="supervisor", tid=handle.id,
+                            exit_code=code,
+                            cell=_cell(task) if task is not None else None,
+                        )
                     spawn()
                     if task is not None:
+                        outcome.note_attempt(
+                            task.digest, attempt,
+                            time.perf_counter() - handle.assigned_pc,
+                        )
                         requeue(
                             task, attempt, "crash",
                             f"worker died (exit code {code}) while running the task",
@@ -426,6 +507,11 @@ def run_supervised(
                 break
 
         if outcome.degraded:
+            if tracer is not None:
+                tracer.event(
+                    "supervisor.degraded", time.perf_counter(),
+                    clock="wall", cat="supervisor", respawns=outcome.respawns,
+                )
             # Collect everything still outstanding — queued, backing off,
             # or in flight on a worker — in deterministic digest order,
             # preserving per-task attempt counts.
@@ -447,6 +533,7 @@ def run_supervised(
                     policy,
                     plan=plan,
                     start_attempts={d: a for d, (_t, a) in leftovers.items()},
+                    tracer=tracer,
                 )
             except SweepInterrupted as exc:
                 # Fold the pooled phase's completions into the count.
@@ -457,6 +544,11 @@ def run_supervised(
             outcome.records.update(serial.records)
             outcome.failures.extend(serial.failures)
             outcome.retries += serial.retries
+            outcome.timeouts += serial.timeouts
+            for digest, stats in serial.task_stats.items():
+                outcome.note_attempt(
+                    digest, int(stats["attempts"]) - 1, stats["wall_s"]
+                )
     except KeyboardInterrupt:
         shutdown(kill=True)
         resolved = len(outcome.records) + len(outcome.failures)

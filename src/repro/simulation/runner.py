@@ -48,8 +48,13 @@ def run_scheme(
     until: Optional[float] = None,
     power_model: AccessNetworkPowerModel = DEFAULT_POWER_MODEL,
     baseline_durations: Optional[Dict[int, float]] = None,
+    tracer=None,
 ) -> SimulationResult:
-    """Run one scheme once over a scenario."""
+    """Run one scheme once over a scenario.
+
+    ``tracer`` optionally attaches a :class:`~repro.obs.tracer.SimTracer`;
+    traced runs produce bit-identical results (tracing only observes).
+    """
     simulator = AccessNetworkSimulator(
         scenario=scenario,
         scheme=scheme,
@@ -58,6 +63,7 @@ def run_scheme(
         sample_interval_s=sample_interval_s,
         seed=seed,
         baseline_durations=baseline_durations,
+        tracer=tracer,
     )
     return simulator.run(until=until)
 

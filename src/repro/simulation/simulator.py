@@ -147,6 +147,14 @@ class SimulationResult:
     #: Trace arrivals never admitted because their client was out of
     #: service (unsubscribed, or not yet subscribed) at arrival time.
     suppressed_arrivals: int = 0
+    #: Kernel event counters (plain integers maintained at the rare event
+    #: sites whether or not anyone observes them; the obs layer reads
+    #: them post-run, so they cost nothing extra on the hot path).
+    solver_invocations: int = 0
+    bh2_rounds: int = 0
+    bh2_decisions: int = 0
+    rate_recomputes: int = 0
+    rate_cache_hits: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -247,6 +255,7 @@ class AccessNetworkSimulator:
         sample_interval_s: float = 60.0,
         seed: int = 0,
         baseline_durations: Optional[Dict[int, float]] = None,
+        tracer=None,
     ):
         if step_s <= 0 or sample_interval_s <= 0:
             raise ValueError("step_s and sample_interval_s must be positive")
@@ -257,6 +266,11 @@ class AccessNetworkSimulator:
         self.sample_interval_s = sample_interval_s
         self.seed = seed
         self.baseline_durations = baseline_durations or {}
+        #: Optional :class:`~repro.obs.tracer.SimTracer`.  Every emit site
+        #: guards on ``is not None`` (hoisted out of hot loops), so with no
+        #: tracer attached the kernel does zero tracing work; with one
+        #: attached it only *reads* state — results stay bit-identical.
+        self.tracer = tracer
         self._rng = np.random.default_rng(seed)
 
         # --- devices ---------------------------------------------------
@@ -330,6 +344,11 @@ class AccessNetworkSimulator:
         )
         #: Gateway-compatible per-device views (API compatibility).
         self.gateways: Dict[int, GatewayView] = self.gateway_array.views()
+        if tracer is not None:
+            # Every state change funnels through _change_state, which
+            # appends to this log only while it is a list — O(transitions)
+            # with a tracer, a single None check per transition without.
+            self.gateway_array.transition_log = []
         self.dslam = Dslam(
             config=self._dslam_config(),
             line_ports=dict(scenario.gateway_port),
@@ -413,6 +432,9 @@ class AccessNetworkSimulator:
         )
         self._samples: List[Tuple[float, int, int, int, int]] = []
         self.steps_taken = 0
+        self._solver_invocations = 0
+        self._bh2_rounds = 0
+        self._bh2_decisions = 0
 
         # --- caches -------------------------------------------------------
         self._home_gateway = scenario.trace.home_gateway
@@ -482,6 +504,7 @@ class AccessNetworkSimulator:
         admit_arrivals = self._admit_arrivals
         plan_stretch = self._plan_stretch
         hetero = self._fleet_hetero
+        tracer = self.tracer
         single: List[float] = [0.0]
         steps = 0
         now = 0.0
@@ -532,6 +555,12 @@ class AccessNetworkSimulator:
             else:
                 k = len(grid)
                 end = grid[-1]
+                if tracer is not None and k > 1:
+                    # Stretch-segment boundary: k event-free grid steps
+                    # covered in one kernel iteration.
+                    tracer.span(
+                        "kernel.stretch", now, end, cat="kernel", steps=k
+                    )
 
             # ---- serve flows at the cached constant rates
             if k > 1 and gateway_array.version != self._dslam_version:
@@ -691,7 +720,18 @@ class AccessNetworkSimulator:
                 rescued = self._rescue_gateway(client)
                 if rescued is None:
                     self._dropped_flows += 1
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "flow.drop", now, cat="churn",
+                            client=client, gateway=gateway_id,
+                        )
                     continue
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "flow.rescue", now, cat="churn",
+                        client=client, from_gateway=gateway_id,
+                        to_gateway=rescued,
+                    )
                 gateway_id = rescued
                 capacity = self._capacity_for(client, gateway_id)
             active = ActiveFlow(flow, gateway_id, capacity)
@@ -801,13 +841,24 @@ class AccessNetworkSimulator:
         group = scheduler._groups.get(gateway_id)
         if group:
             state = gateway_array.state
+            tracer = self.tracer
             for flow in list(group):
                 client = flow.flow.client_id
                 target = self._rescue_gateway(client)
                 if target is None:
                     scheduler.cancel(flow)
                     self._dropped_flows += 1
+                    if tracer is not None:
+                        tracer.event(
+                            "flow.drop", now, cat="churn",
+                            client=client, gateway=gateway_id,
+                        )
                     continue
+                if tracer is not None:
+                    tracer.event(
+                        "flow.rescue", now, cat="churn",
+                        client=client, from_gateway=gateway_id, to_gateway=target,
+                    )
                 scheduler.migrate(flow, target, self._capacity_for(client, target))
                 if state[target] == STATE_SLEEPING:
                     gateway_array.request_wake(target, now)
@@ -843,6 +894,7 @@ class AccessNetworkSimulator:
         index = self._churn_index
         count = len(actions)
         scheduler = self.scheduler
+        tracer = self.tracer
         while index < count and actions[index].at_s <= now:
             action = actions[index]
             index += 1
@@ -851,11 +903,28 @@ class AccessNetworkSimulator:
                     self._gateway_in(action.entity_id, now)
                 else:
                     self._gateway_out(action.entity_id, now)
+                if tracer is not None:
+                    tracer.event(
+                        "churn.gateway_in" if action.into_service
+                        else "churn.gateway_out",
+                        now, cat="churn", gateway=action.entity_id,
+                    )
             elif action.into_service:
                 self._clients_out.discard(action.entity_id)
+                if tracer is not None:
+                    tracer.event(
+                        "churn.client_in", now, cat="churn",
+                        client=action.entity_id,
+                    )
             else:
                 self._clients_out.add(action.entity_id)
-                self._dropped_flows += scheduler.cancel_client(action.entity_id)
+                cancelled = scheduler.cancel_client(action.entity_id)
+                self._dropped_flows += cancelled
+                if tracer is not None:
+                    tracer.event(
+                        "churn.client_out", now, cat="churn",
+                        client=action.entity_id, dropped_flows=cancelled,
+                    )
         self._churn_index = index
         self._next_churn_at = actions[index].at_s if index < count else inf
 
@@ -932,6 +1001,14 @@ class AccessNetworkSimulator:
             decision_at[index] = next_at
             heappush(heap, (next_at, index))
         self._min_decision_at = heap[0][0] if heap else inf
+        self._bh2_rounds += 1
+        self._bh2_decisions += len(due)
+        if self.tracer is not None:
+            self.tracer.event(
+                "bh2.round", now, cat="bh2",
+                decisions=len(due),
+                online=sorted(self._current_online_set()),
+            )
 
     def _gateway_observations(self, now: float) -> GatewayObservationArray:
         """Refresh and return the reusable array-backed observation view."""
@@ -1054,7 +1131,14 @@ class AccessNetworkSimulator:
             max_utilization=self.scheme.optimal_max_utilization,
         )
         solution = self._optimal_solver.solve(problem)
+        self._solver_invocations += 1
         self._optimal_online = set(solution.online_gateways)
+        if self.tracer is not None:
+            self.tracer.event(
+                "optimal.solve", now, cat="optimal",
+                online=sorted(self._optimal_online),
+                demand_clients=len(demands),
+            )
         # Wake the selected gateways (instantaneously for the idealised bound).
         gateway_array = self.gateway_array
         for gateway_id in solution.online_gateways:
@@ -1287,6 +1371,15 @@ class AccessNetworkSimulator:
 
     # ------------------------------------------------------------------
     def _build_result(self, horizon: float) -> SimulationResult:
+        tracer = self.tracer
+        if tracer is not None and self.gateway_array.transition_log:
+            # Post-run: fold the raw transition log into per-gateway
+            # sleep/wake/boot spans (one Perfetto track per gateway).
+            from repro.obs.tracer import add_gateway_segments
+
+            add_gateway_segments(
+                tracer, self.gateway_array.transition_log, horizon
+            )
         samples = np.array(self._samples, dtype=float)
         energy_times, energy_total = self.energy.timeseries()
         _times, energy_isp = self.energy.timeseries(
@@ -1350,6 +1443,11 @@ class AccessNetworkSimulator:
             generation_counts=dict(self._generation_counts),
             dropped_flows=self._dropped_flows,
             suppressed_arrivals=self._suppressed_arrivals,
+            solver_invocations=self._solver_invocations,
+            bh2_rounds=self._bh2_rounds,
+            bh2_decisions=self._bh2_decisions,
+            rate_recomputes=self.scheduler.rate_recomputes,
+            rate_cache_hits=self.scheduler.rate_cache_hits,
         )
 
     #: Time hint used by helpers that need "now" outside the main loop.

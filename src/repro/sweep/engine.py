@@ -28,10 +28,12 @@ prove it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.schemes import SchemeConfig, standard_schemes
+from repro.obs.metrics import MetricsRegistry, kernel_snapshot
 from repro.resilience.faults import (
     ChaosConfig,
     FaultKind,
@@ -188,22 +190,50 @@ def expand_tasks(
 #: startup, and many (scheme, repetition) tasks share one spec.
 _SCENARIO_CACHE: dict = {}
 
+#: Tracer handed to in-process (serial) task execution.  Set only around
+#: the ``workers == 1`` supervised run; worker processes of a pooled
+#: sweep are spawned while this is ``None``, so they never trace.
+_TASK_TRACER = None
 
-def _execute_task(task: SweepTask) -> RunRecord:
+
+@dataclass
+class TaskOutput:
+    """What one executed grid cell ships back to the parent.
+
+    Only ``record`` ever reaches the store, so stored bytes stay
+    byte-identical whether or not observability is on (the chaos drill's
+    invariant).  The metrics snapshot and phase timings ride alongside:
+    the engine merges the snapshots into the sweep-wide registry and
+    writes the timings to the store's ``timings.jsonl`` ledger.
+    """
+
+    record: RunRecord
+    obs: Dict[str, dict]
+    build_s: float
+    run_s: float
+
+
+def _execute_task(task: SweepTask) -> TaskOutput:
     """Run one grid cell (top-level so multiprocessing can pickle it)."""
     scenario = _SCENARIO_CACHE.get(task.spec)
+    build_s = 0.0
     if scenario is None:
+        build_start = time.perf_counter()
         scenario = task.spec.build()
+        build_s = time.perf_counter() - build_start
         _SCENARIO_CACHE.clear()
         _SCENARIO_CACHE[task.spec] = scenario
+    run_start = time.perf_counter()
     result = run_scheme(
         scenario,
         task.scheme,
         seed=task.seed,
         step_s=task.step_s,
         sample_interval_s=task.sample_interval_s,
+        tracer=_TASK_TRACER,
     )
-    return RunRecord(
+    run_s = time.perf_counter() - run_start
+    record = RunRecord(
         digest=task.digest,
         family=task.family,
         label=task.spec.label,
@@ -212,6 +242,12 @@ def _execute_task(task: SweepTask) -> RunRecord:
         seed=task.seed,
         duration_s=task.spec.duration_s,
         metrics=run_metrics(result, task.spec.duration_s),
+    )
+    registry = MetricsRegistry.from_snapshot(kernel_snapshot(result, run_s))
+    if build_s > 0:
+        registry.observe("sweep.trace_build_s", build_s)
+    return TaskOutput(
+        record=record, obs=registry.snapshot(), build_s=build_s, run_s=run_s
     )
 
 
@@ -232,7 +268,14 @@ class SweepResult:
     failures: List[TaskFailure] = field(default_factory=list)
     retries: int = 0
     respawns: int = 0
+    timeouts: int = 0
     degraded: bool = False
+    #: Merged observability snapshot (counters/gauges/histograms) across
+    #: every executed run plus the engine's own store/supervisor counters.
+    obs: Dict[str, dict] = field(default_factory=dict)
+    #: Per-digest supervisor accounting for *executed* cells:
+    #: ``{"attempts": n, "wall_s": s}`` (cache-served cells have none).
+    task_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def total_runs(self) -> int:
@@ -304,6 +347,7 @@ def run_sweep(
     families: Optional[Sequence[ScenarioFamily]] = None,
     retry: Optional[RetryPolicy] = None,
     chaos: Optional[ChaosConfig] = None,
+    tracer=None,
 ) -> SweepResult:
     """Run (or resume) a sweep over the given scenario families.
 
@@ -323,6 +367,12 @@ def run_sweep(
     ``SweepResult.failures`` instead.  ``chaos`` injects a deterministic
     fault plan over the *pending* (not cache-served) digests — the chaos
     drill of the CI ``chaos`` job.
+
+    ``tracer`` attaches a :class:`~repro.obs.tracer.SimTracer`: the
+    engine and supervisor record wall-clock spans (cache scan, task
+    execution, store puts, retries/respawns), and a serial
+    (``workers=1``) sweep additionally records the kernel's sim-time
+    events in-process.  Tracing never changes results or stored bytes.
     """
     if workers is not None and workers <= 0:
         raise ValueError("workers must be positive")
@@ -344,6 +394,7 @@ def run_sweep(
     pending: List[SweepTask] = []
     seen_digests = set()
     caching = store is not None and use_cache
+    scan_start = time.perf_counter()
     # The store-wide manifest answers "which digests exist?" in one read
     # instead of one file open per task; get() stays authoritative, so a
     # stale manifest can only cost a recomputation, never a wrong result.
@@ -357,6 +408,12 @@ def run_sweep(
         else:
             seen_digests.add(task.digest)
             pending.append(task)
+    if tracer is not None:
+        tracer.span(
+            "sweep.scan", scan_start, time.perf_counter(),
+            clock="wall", cat="sweep",
+            cached=len(records), pending=len(pending),
+        )
 
     executed = len(pending)
     policy = retry or RetryPolicy()
@@ -367,27 +424,54 @@ def run_sweep(
     if chaos is not None and chaos.total:
         plan = build_plan([task.digest for task in pending], chaos)
 
-    def persist(record: RunRecord, attempt: int) -> None:
-        """Parent-side persist hook; torn-write injection lives here."""
+    def persist(output: TaskOutput, attempt: int) -> None:
+        """Parent-side persist hook; torn-write injection lives here.
+
+        Receives the worker's :class:`TaskOutput`; only the wrapped
+        :class:`RunRecord` reaches the store, and one profiling line is
+        appended to the timings ledger per successful persist (so a
+        fresh sweep's ledger line count equals its manifest run count).
+        """
+        record = output.record
         if plan is not None and plan.fault_for(record.digest, attempt) is FaultKind.TORN_WRITE:
             if store is not None:
                 tear_write(store, record.digest)
             raise InjectedFault(f"injected torn store write for {record.digest[:12]}")
         if store is not None:
-            store.put(record)
+            if tracer is not None:
+                with tracer.wall_span("store.put", digest=record.digest[:12]):
+                    store.put(record)
+            else:
+                store.put(record)
+            store.append_timing({
+                "digest": record.digest,
+                "family": record.family,
+                "label": record.label,
+                "scheme": record.scheme,
+                "run_index": record.run_index,
+                "attempt": attempt,
+                "build_s": round(output.build_s, 6),
+                "run_s": round(output.run_s, 6),
+            })
 
     failures: List[TaskFailure] = []
-    retries = respawns = 0
+    retries = respawns = timeouts = 0
     degraded = False
+    task_stats: Dict[str, Dict[str, float]] = {}
+    registry = MetricsRegistry()
     if pending:
         workers = workers or 1
         workers = max(1, min(workers, len(pending)))
         if workers == 1:
+            global _TASK_TRACER
+            _TASK_TRACER = tracer
             try:
                 outcome = run_serial_supervised(
-                    pending, _execute_task, persist, policy, plan=plan
+                    pending, _execute_task, persist, policy, plan=plan,
+                    tracer=tracer,
                 )
             finally:
+                _TASK_TRACER = None
                 # The serial path ran in this process: don't pin the last
                 # scenario (and its trace) for the process lifetime.
                 _SCENARIO_CACHE.clear()
@@ -396,17 +480,29 @@ def run_sweep(
             # spec's cells land contiguously and a worker's per-process
             # scenario cache stays warm.
             outcome = run_supervised(
-                pending, _execute_task, persist, policy, plan=plan, workers=workers
+                pending, _execute_task, persist, policy, plan=plan,
+                workers=workers, tracer=tracer,
             )
-        records.update(outcome.records)
+        # Unwrap: SweepResult.records holds bare RunRecords (exactly what
+        # the cache-served path yields), the snapshots merge sweep-wide.
+        for digest, payload in outcome.records.items():
+            records[digest] = payload.record
+            registry.merge(payload.obs)
         failures = outcome.failures
         retries = outcome.retries
         respawns = outcome.respawns
+        timeouts = outcome.timeouts
         degraded = outcome.degraded
+        task_stats = outcome.task_stats
 
     # Every grid cell that did not need a fresh run counts as a hit,
     # including duplicates reached through two families.
     cache_hits = len(tasks) - executed
+    registry.counter("store.cache_hits", cache_hits)
+    registry.counter("store.executed", executed)
+    registry.counter("supervisor.retries", retries)
+    registry.counter("supervisor.respawns", respawns)
+    registry.counter("supervisor.timeouts", timeouts)
     return SweepResult(
         tasks=tasks,
         records=records,
@@ -415,5 +511,8 @@ def run_sweep(
         failures=failures,
         retries=retries,
         respawns=respawns,
+        timeouts=timeouts,
         degraded=degraded,
+        obs=registry.snapshot(),
+        task_stats=task_stats,
     )

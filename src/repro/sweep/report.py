@@ -11,6 +11,7 @@ import json
 from typing import Dict, List
 
 from repro.analysis import report
+from repro.obs.metrics import MetricsRegistry
 from repro.sweep.engine import SweepResult
 
 #: Aggregate columns shown in the per-family tables, in order.
@@ -154,6 +155,17 @@ def overview_table(result: SweepResult) -> str:
     return report.format_table(["family", "scheme", "scenarios", "mean savings %"], rows)
 
 
+def obs_table(result: SweepResult) -> str:
+    """Merged observability metrics of the sweep (empty when absent)."""
+    if not result.obs:
+        return ""
+    registry = MetricsRegistry.from_snapshot(result.obs)
+    rows = registry.rows()
+    if not rows:
+        return ""
+    return report.format_table(["kind", "metric", "value"], list(rows))
+
+
 def render_sweep(result: SweepResult) -> str:
     """The full plain-text sweep report."""
     blocks: List[str] = []
@@ -196,7 +208,32 @@ def render_sweep(result: SweepResult) -> str:
         accounting["failed_cells"] = len(result.failures)
         accounting["degraded_to_serial"] = str(result.degraded).lower()
     blocks.append(report.render_key_values(accounting, title="Sweep accounting"))
+    metrics = obs_table(result)
+    if metrics and result.executed:
+        blocks.append("")
+        blocks.append("== observability metrics (executed runs) ==")
+        blocks.append(metrics)
     return "\n".join(blocks)
+
+
+def _run_entry(result: SweepResult, task) -> Dict[str, object]:
+    """One ``runs`` entry; executed cells carry supervisor accounting."""
+    entry: Dict[str, object] = {
+        "digest": task.digest,
+        "family": task.family,
+        "scenario": task.spec.label,
+        "scheme": task.scheme.name,
+        "run_index": task.run_index,
+        "seed": task.seed,
+        "metrics": result.record_for(task).metrics,
+    }
+    stats = result.task_stats.get(task.digest)
+    if stats is not None:
+        # Cache-served cells never reach the supervisor, so only
+        # executed cells report wall-clock time and attempt counts.
+        entry["wall_s"] = round(float(stats["wall_s"]), 6)
+        entry["attempts"] = int(stats["attempts"])
+    return entry
 
 
 def sweep_to_json(result: SweepResult) -> str:
@@ -205,15 +242,7 @@ def sweep_to_json(result: SweepResult) -> str:
         "aggregates": result.aggregates(),
         "watt_gaps": watt_gap_rows(result),
         "runs": [
-            {
-                "digest": task.digest,
-                "family": task.family,
-                "scenario": task.spec.label,
-                "scheme": task.scheme.name,
-                "run_index": task.run_index,
-                "seed": task.seed,
-                "metrics": result.record_for(task).metrics,
-            }
+            _run_entry(result, task)
             for task in result.tasks
             if task.digest in result.records
         ],
@@ -233,7 +262,9 @@ def sweep_to_json(result: SweepResult) -> str:
             "cache_hits": result.cache_hits,
             "retries": result.retries,
             "worker_respawns": result.respawns,
+            "timeouts": result.timeouts,
             "degraded_to_serial": result.degraded,
         },
+        "obs": result.obs,
     }
     return json.dumps(payload, indent=1, sort_keys=True)

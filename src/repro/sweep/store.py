@@ -159,6 +159,7 @@ class ResultStore:
     """
 
     MANIFEST_NAME = "manifest.jsonl"
+    TIMINGS_NAME = "timings.jsonl"
 
     def __init__(self, root: os.PathLike | str):
         self.root = Path(root)
@@ -332,6 +333,47 @@ class ResultStore:
             # The manifest is an optimization; a failed append only means
             # the next cold load rebuilds it.
             pass
+
+    # ------------------------------------------------------------------
+    # Timings ledger (observability)
+    # ------------------------------------------------------------------
+    @property
+    def timings_path(self) -> Path:
+        """Where the per-sweep profiling ledger lives."""
+        return self.root / self.TIMINGS_NAME
+
+    def append_timing(self, entry: dict) -> None:
+        """Append one profiling line (one executed-and-persisted run).
+
+        The ledger shares the manifest's posture: advisory, append-only,
+        and best-effort — a failed append loses one timing line, never a
+        result.  Unlike the manifest it is *not* deduplicated: re-running
+        a cell (``--no-resume``) legitimately appends another line.
+        """
+        try:
+            with open(self.timings_path, "a") as handle:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        except (OSError, TypeError, ValueError):
+            pass
+
+    def read_timings(self) -> List[dict]:
+        """Every parseable line of the timings ledger, in append order."""
+        entries: List[dict] = []
+        try:
+            with open(self.timings_path, "r") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        payload = json.loads(line)
+                    except ValueError:
+                        continue  # torn append from a crash: ignore the line
+                    if isinstance(payload, dict):
+                        entries.append(payload)
+        except OSError:
+            return []
+        return entries
 
     def path_for(self, digest: str) -> Path:
         """Where the record for a digest lives."""

@@ -176,3 +176,88 @@ def test_scheme_run_seed_is_identical_across_processes():
             env=env, capture_output=True, text=True, check=True,
         ).stdout
         assert json.loads(output) == expected
+
+
+# ----------------------------------------------------------------------
+# Observability: sweep --trace and the obs command group
+# ----------------------------------------------------------------------
+def test_sweep_trace_writes_perfetto_trace_and_ledger(tmp_path, capsys):
+    out_dir = tmp_path / "store"
+    trace = tmp_path / "trace.json"
+    assert main(["sweep", "--family", "smoke", "--step", "10",
+                 "--out", str(out_dir), "--schemes", "no-sleep,SoI",
+                 "--trace", str(trace)]) == 0
+    captured = capsys.readouterr()
+    assert "trace written to" in captured.err
+    assert "observability metrics" in captured.out
+    payload = json.loads(trace.read_text())
+    names = {event["name"] for event in payload["traceEvents"]}
+    assert "task.run" in names and "store.put" in names
+    # The timing ledger has one line per manifest record (fresh sweep).
+    timings = (out_dir / "timings.jsonl").read_text().splitlines()
+    manifest = (out_dir / "manifest.jsonl").read_text().splitlines()
+    assert len([l for l in timings if l]) == len([l for l in manifest if l]) == 2
+
+
+def test_sweep_trace_jsonl_extension_writes_events(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert main(["sweep", "--family", "smoke", "--step", "10",
+                 "--out", str(tmp_path / "store"), "--schemes", "SoI",
+                 "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    lines = [line for line in trace.read_text().splitlines() if line]
+    assert lines and all("name" in json.loads(line) for line in lines)
+
+
+def test_obs_trace_end_to_end(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    assert main(["obs", "trace", "--clients", "12", "--gateways", "4",
+                 "--hours", "0.5", "--step", "5",
+                 "--output", str(trace)]) == 0
+    captured = capsys.readouterr()
+    assert "Traced run" in captured.out
+    assert "trace written to" in captured.err
+    assert trace.is_file()
+
+
+def test_obs_trace_unknown_scheme_exits_2(capsys):
+    assert main(["obs", "trace", "--scheme", "nope"]) == 2
+    assert "unknown scheme" in capsys.readouterr().err
+
+
+def test_obs_summary_tabulates_ledger(tmp_path, capsys):
+    out_dir = str(tmp_path / "store")
+    assert main(["sweep", "--family", "smoke", "--step", "10",
+                 "--out", out_dir, "--schemes", "no-sleep,SoI"]) == 0
+    capsys.readouterr()
+    assert main(["obs", "summary", "--out", out_dir]) == 0
+    out = capsys.readouterr().out
+    assert "Sweep timing ledger" in out and "no-sleep" in out
+    assert main(["obs", "summary", "--out", out_dir, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["entries"] == 2
+    assert {group["scheme"] for group in payload["groups"]} == {"no-sleep", "SoI"}
+
+
+def test_obs_summary_without_ledger_is_friendly(tmp_path, capsys):
+    assert main(["obs", "summary", "--out", str(tmp_path / "empty")]) == 0
+    assert "no timing ledger" in capsys.readouterr().out
+
+
+def test_obs_export_round_trip(tmp_path, capsys):
+    source = tmp_path / "events.jsonl"
+    source.write_text(
+        '{"name": "a", "ts": 1.0, "ph": "i", "clock": "sim", "cat": "t", '
+        '"tid": 0, "args": {}}\n{"torn": \n'
+    )
+    target = tmp_path / "chrome.json"
+    assert main(["obs", "export", str(source), str(target)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    payload = json.loads(target.read_text())
+    assert any(event["name"] == "a" for event in payload["traceEvents"])
+
+
+def test_obs_export_missing_input_exits_2(tmp_path, capsys):
+    assert main(["obs", "export", str(tmp_path / "absent.jsonl"),
+                 str(tmp_path / "out.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err

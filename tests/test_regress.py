@@ -457,3 +457,42 @@ def test_served_demand_metrics_in_sweep_records(regress_dirs):
     rows = result.aggregates()
     assert all("served_demand_gb" in row and "served_flows" in row for row in rows)
     assert any(row["served_flows"] > 0 for row in rows)
+
+
+# ----------------------------------------------------------------------
+# History trajectory (baselines/history.jsonl)
+# ----------------------------------------------------------------------
+def test_check_appends_history_and_history_command_renders(regress_dirs, capsys):
+    store, baselines = regress_dirs
+    assert _regress("update", store, baselines) == 0
+    assert _regress("check", store, baselines) == 0
+    assert _regress("check", store, baselines) == 0
+    lines = [
+        line for line
+        in (Path(baselines) / "history.jsonl").read_text().splitlines()
+        if line
+    ]
+    assert len(lines) == 2  # one record per gate run, append-only
+    record = json.loads(lines[-1])
+    assert record["verdict"] == "PASS"
+    assert record["families"]["smoke"] > 0
+    assert "timestamp" in record and "git_sha" in record
+    capsys.readouterr()
+    assert main(["regress", "history", "--baselines", baselines]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out and "smoke=" in out
+    assert main(["regress", "history", "--baselines", baselines,
+                 "--json", "--last", "1"]) == 0
+    assert len(json.loads(capsys.readouterr().out)) == 1
+
+
+def test_check_no_history_opts_out(regress_dirs):
+    store, baselines = regress_dirs
+    assert _regress("update", store, baselines) == 0
+    assert _regress("check", store, baselines, "--no-history") == 0
+    assert not (Path(baselines) / "history.jsonl").exists()
+
+
+def test_history_without_ledger_is_friendly(tmp_path, capsys):
+    assert main(["regress", "history", "--baselines", str(tmp_path)]) == 0
+    assert "no gate history" in capsys.readouterr().out

@@ -222,6 +222,49 @@ def test_hang_is_killed_by_timeout_and_rescued(tmp_path):
     assert len(result.records) == result.total_runs
 
 
+# ----------------------------------------------------------------------
+# SupervisedOutcome accounting: the counters the obs layer surfaces
+# ----------------------------------------------------------------------
+def test_timeout_only_chaos_accounts_timeouts_and_respawns(tmp_path):
+    result = run_sweep(
+        families=[TINY], schemes=SCHEMES, config=CONFIG,
+        store=ResultStore(tmp_path), workers=2,
+        retry=RetryPolicy(task_timeout_s=10.0, max_retries=2),
+        chaos=ChaosConfig(hangs=1, seed=11),
+    )
+    assert not result.failures and not result.degraded
+    # The hang costs exactly one timeout, which kills one worker and
+    # requeues the cell: every counter the report surfaces agrees.
+    assert result.timeouts == 1
+    assert result.respawns >= 1
+    assert result.retries >= 1
+    # Every cell was executed and reports wall-clock + attempt stats;
+    # the hung cell took (at least) two attempts.
+    assert set(result.task_stats) == set(result.records)
+    attempts = sorted(int(s["attempts"]) for s in result.task_stats.values())
+    assert attempts[-1] >= 2 and attempts[0] == 1
+    assert all(s["wall_s"] >= 0.0 for s in result.task_stats.values())
+
+
+def test_raise_only_chaos_accounts_retries_without_respawns(tmp_path):
+    raises = 2
+    result = run_sweep(
+        families=[TINY], schemes=SCHEMES, config=CONFIG,
+        store=ResultStore(tmp_path), workers=1,
+        retry=RetryPolicy(max_retries=1),
+        chaos=ChaosConfig(raises=raises, seed=2),
+    )
+    assert not result.failures and not result.degraded
+    # Serial raises are retried in-process: no workers die, nothing
+    # times out, and each injected raise costs exactly one retry.
+    assert result.retries == raises
+    assert result.respawns == 0
+    assert result.timeouts == 0
+    attempts = sorted(int(s["attempts"]) for s in result.task_stats.values())
+    assert attempts.count(2) == raises
+    assert attempts.count(1) == result.total_runs - raises
+
+
 def test_degrades_to_serial_when_the_pool_keeps_dying(tmp_path):
     # Four crashes against a respawn budget of one: the supervisor must
     # give up on process isolation and finish the grid in-parent (where
