@@ -145,7 +145,10 @@ def test_bench_perf_kernel(bench_scenario):
         },
         "per_scheme": per_scheme,
     }
-    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    # sort_keys pins both block order and key order, so re-running the
+    # benchmark produces a stable file and perf commits diff only where a
+    # number actually moved.
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
     # Regression floor: the kernel must stay well ahead of the seed.  The
     # headline measurement on the reference machine is recorded in the JSON

@@ -71,6 +71,19 @@ def render_summary(summary: Mapping[str, Mapping[str, float]]) -> str:
     return format_table(["scheme"] + metrics, rows)
 
 
+def format_bar(fraction: float, width: int = 24) -> str:
+    """Render a unit-interval fraction as a fixed-width ASCII progress bar.
+
+    Out-of-range inputs are clamped rather than rejected: live dashboards
+    feed this from racy counters and must never crash the render loop.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
 def render_key_values(values: Mapping[str, object], title: str = "") -> str:
     """Render a flat key/value mapping."""
     lines = [title] if title else []

@@ -22,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
 from repro.analysis import figures, report
@@ -128,6 +129,13 @@ def _add_sweep_parser(subparsers) -> None:
         "a .jsonl path gets JSONL events, anything else Chrome "
         "trace-event JSON loadable in Perfetto (sim-time kernel events "
         "are captured on serial sweeps; wall-clock spans always)",
+    )
+    parser.add_argument(
+        "--watch",
+        action="store_true",
+        help="render a live progress dashboard on stderr while the sweep "
+        "runs (in-place on a TTY; plain '[watch]' lines on pipes/CI); "
+        "purely observational — results and stored bytes are unchanged",
     )
     resilience = parser.add_argument_group(
         "resilience",
@@ -356,15 +364,20 @@ def _add_regress_parser(subparsers) -> None:
 def _add_obs_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "obs",
-        help="trace a run, summarise sweep timings, export Perfetto traces",
+        help="trace runs, summarise timings, warehouse sweeps, explain kWh",
         description="The observability toolbox: 'trace' runs one traced "
         "simulation and exports its structured event trace; 'summary' "
         "tabulates the per-run timings.jsonl ledger a sweep store keeps "
         "beside its manifest; 'export' converts a JSONL event trace to "
-        "Chrome trace-event JSON loadable in Perfetto or chrome://tracing.",
+        "Chrome trace-event JSON loadable in Perfetto or chrome://tracing; "
+        "'ingest'/'query'/'drift' maintain the cross-sweep SQLite insight "
+        "warehouse; 'explain' decomposes a run's energy savings into a "
+        "waterfall vs its no-sleep twin; 'top' renders a store's progress.",
     )
     obs_sub = parser.add_subparsers(
-        dest="obs_command", required=True, metavar="trace|summary|export"
+        dest="obs_command",
+        required=True,
+        metavar="trace|summary|export|ingest|query|drift|explain|top",
     )
 
     trace = obs_sub.add_parser(
@@ -407,6 +420,14 @@ def _add_obs_parser(subparsers) -> None:
         metavar="DIR",
         help="result-store directory shared with 'sweep' (default: ./sweep-results)",
     )
+    summary.add_argument(
+        "--by",
+        type=str,
+        choices=("scheme", "family"),
+        default="scheme",
+        help="grouping: 'scheme' = one row per family x scheme (default); "
+        "'family' = one row per family",
+    )
     summary.add_argument("--json", action="store_true",
                          help="print the aggregate rows as JSON")
 
@@ -419,6 +440,114 @@ def _add_obs_parser(subparsers) -> None:
     )
     export.add_argument("input", help="JSONL trace to read")
     export.add_argument("output", help="Chrome trace-event JSON to write")
+
+    ingest = obs_sub.add_parser(
+        "ingest",
+        help="index sweep stores, traces, bench and history into the warehouse",
+        description="Ingest any number of sweep stores (manifest + metrics "
+        "+ timings ledger), JSONL traces, BENCH_perf.json payloads and "
+        "regress history ledgers into one SQLite insight warehouse. "
+        "Re-ingesting a source replaces its rows (idempotent); the "
+        "warehouse only ever reads the sources.",
+    )
+    ingest.add_argument("--db", type=str, default="insight.db", metavar="PATH",
+                        help="warehouse database file (default: ./insight.db)")
+    ingest.add_argument("--store", action="append", default=None, metavar="DIR",
+                        help="sweep result store to ingest (repeatable)")
+    ingest.add_argument("--trace", action="append", default=None, metavar="PATH",
+                        help="JSONL event trace to ingest (repeatable)")
+    ingest.add_argument("--bench", action="append", default=None, metavar="PATH",
+                        help="BENCH_perf.json payload to ingest (repeatable)")
+    ingest.add_argument("--history", action="append", default=None, metavar="DIR",
+                        help="baselines directory whose history.jsonl to "
+                        "ingest (repeatable)")
+    ingest.add_argument("--git-sha", type=str, default=None, metavar="SHA",
+                        help="git sha to tag the ingested stores with "
+                        "(default: the current checkout's short sha)")
+    ingest.add_argument("--json", action="store_true",
+                        help="print the ingest accounting as JSON")
+
+    query = obs_sub.add_parser(
+        "query",
+        help="query the warehouse's run table",
+        description="Filter the warehouse's run rows by family, scheme, "
+        "scenario label or digest prefix; --metric pulls one stored "
+        "metric column out of each run's metrics payload.",
+    )
+    query.add_argument("--db", type=str, default="insight.db", metavar="PATH")
+    query.add_argument("--family", type=str, default=None)
+    query.add_argument("--scheme", type=str, default=None)
+    query.add_argument("--label", type=str, default=None)
+    query.add_argument("--digest", type=str, default=None, metavar="PREFIX")
+    query.add_argument("--metric", type=str, default=None, metavar="NAME",
+                       help="also show this metric from each run's payload")
+    query.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="show at most N rows (the count is still total)")
+    query.add_argument("--json", action="store_true",
+                       help="print the rows as JSON")
+
+    drift = obs_sub.add_parser(
+        "drift",
+        help="flag per-cell metric/wall-time drift across ingested shas",
+        description="Compare every digest that appears in more than one "
+        "ingested source: metrics must be bit-identical (a difference "
+        "means the kernel silently changed its answers between shas), "
+        "and mean executed wall time must stay within --wall-ratio. "
+        "Findings are appended to the regress history ledger as an "
+        "advisory row unless --no-history.",
+    )
+    drift.add_argument("--db", type=str, default="insight.db", metavar="PATH")
+    drift.add_argument("--wall-ratio", type=float, default=1.5, metavar="R",
+                       help="flag a cell whose mean run_s moved by more "
+                       "than this factor between sources (default: 1.5)")
+    drift.add_argument("--baselines", type=str, default="baselines",
+                       metavar="DIR",
+                       help="baselines directory whose history.jsonl "
+                       "receives the advisory row (default: ./baselines)")
+    drift.add_argument("--no-history", action="store_true",
+                       help="do not append the advisory row")
+    drift.add_argument("--json", action="store_true",
+                       help="print the findings as JSON")
+
+    explain = obs_sub.add_parser(
+        "explain",
+        help="decompose a run's kWh savings vs its no-sleep twin",
+        description="Run one grid cell and its no-sleep twin at the same "
+        "seed, then decompose the kWh delta into a savings waterfall: "
+        "gross sleep savings, standby draw, wake/boot penalties and "
+        "churn-forced wakes per device generation, plus direct ISP-side "
+        "deltas. The waterfall sums exactly to the total delta.",
+    )
+    explain.add_argument("--family", type=str, default="smoke",
+                         help="scenario family providing the grid cell "
+                         "(default: smoke)")
+    explain.add_argument("--label", type=str, default=None,
+                         help="scenario label within the family "
+                         "(default: the family's first scenario)")
+    explain.add_argument("--scheme", type=str, default="BH2+k-switch",
+                         help=f"scheme to explain; known: {', '.join(all_schemes())}")
+    explain.add_argument("--run-index", type=int, default=0, metavar="N",
+                         help="repetition index (seeds match 'sweep' cells)")
+    explain.add_argument("--step", type=float, default=2.0,
+                         help="simulation step (s); match the sweep's --step")
+    explain.add_argument("--json", action="store_true",
+                         help="print the waterfall payload as JSON")
+
+    top = obs_sub.add_parser(
+        "top",
+        help="render a sweep store's live progress from its ledgers",
+        description="Summarise a store's manifest and timings ledger as a "
+        "progress frame — safe to point at a store another process is "
+        "sweeping into. Repaints every --interval seconds; --once prints "
+        "a single frame and exits (for CI and scripts).",
+    )
+    top.add_argument("--out", type=str, default="sweep-results", metavar="DIR",
+                     help="result-store directory shared with 'sweep' "
+                     "(default: ./sweep-results)")
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="refresh interval in seconds (default: 2)")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit")
 
 
 def _add_schemes_parser(subparsers) -> None:
@@ -809,6 +938,11 @@ def _cmd_sweep(args) -> int:
         from repro.obs import SimTracer
 
         tracer = SimTracer()
+    progress = None
+    if args.watch:
+        from repro.obs import SweepDashboard
+
+        progress = SweepDashboard()
     try:
         result = run_sweep(
             family_names=args.family,
@@ -822,6 +956,7 @@ def _cmd_sweep(args) -> int:
             retry=retry,
             chaos=chaos,
             tracer=tracer,
+            progress=progress,
         )
     except SweepInterrupted as exc:
         print(f"\ninterrupted: {exc.completed} fresh run(s) were persisted to "
@@ -914,37 +1049,51 @@ def _cmd_obs_trace(args) -> int:
 
 
 def _cmd_obs_summary(args) -> int:
+    from repro.obs.insight import percentile
     from repro.sweep import ResultStore
 
     store = ResultStore(args.out)
     entries = store.read_timings()
+    by_family = getattr(args, "by", "scheme") == "family"
     groups: dict = {}
     order: list = []
     for entry in entries:
-        key = (str(entry.get("family", "-")), str(entry.get("scheme", "-")))
+        family = str(entry.get("family", "-"))
+        key = (family,) if by_family else (family, str(entry.get("scheme", "-")))
         if key not in groups:
-            groups[key] = {"runs": 0, "attempts": 0, "build_s": 0.0, "run_s": 0.0}
+            groups[key] = {
+                "runs": 0, "attempts": 0, "build_s": 0.0, "run_s": 0.0,
+                "walls": [],
+            }
             order.append(key)
         group = groups[key]
         group["runs"] += 1
         group["attempts"] += int(entry.get("attempt", 0)) + 1
         group["build_s"] += float(entry.get("build_s", 0.0))
-        group["run_s"] += float(entry.get("run_s", 0.0))
-    rows = [
-        {
-            "family": family,
-            "scheme": scheme,
-            "runs": groups[(family, scheme)]["runs"],
-            "attempts": groups[(family, scheme)]["attempts"],
-            "build_s": round(groups[(family, scheme)]["build_s"], 6),
-            "run_s": round(groups[(family, scheme)]["run_s"], 6),
-        }
-        for family, scheme in order
-    ]
+        wall = float(entry.get("run_s", 0.0))
+        group["run_s"] += wall
+        group["walls"].append(wall)
+    rows = []
+    for key in order:
+        group = groups[key]
+        row = {"family": key[0]}
+        if not by_family:
+            row["scheme"] = key[1]
+        row.update({
+            "runs": group["runs"],
+            "attempts": group["attempts"],
+            "build_s": round(group["build_s"], 6),
+            "run_s": round(group["run_s"], 6),
+            "p50_run_s": round(percentile(group["walls"], 50), 6),
+            "p95_run_s": round(percentile(group["walls"], 95), 6),
+            "p99_run_s": round(percentile(group["walls"], 99), 6),
+        })
+        rows.append(row)
     if args.json:
         print(json.dumps({
             "ledger": str(store.timings_path),
             "entries": len(entries),
+            "by": "family" if by_family else "scheme",
             "groups": rows,
         }, indent=1, sort_keys=True))
         return 0
@@ -952,11 +1101,16 @@ def _cmd_obs_summary(args) -> int:
         print(f"no timing ledger at {store.timings_path} — run a sweep "
               "against this store first")
         return 0
+    headers = ["family"] + ([] if by_family else ["scheme"]) + [
+        "runs", "attempts", "build s", "run s", "p50", "p95", "p99",
+    ]
     print(report.format_table(
-        ["family", "scheme", "runs", "attempts", "build s", "run s"],
+        headers,
         [
-            [row["family"], row["scheme"], row["runs"], row["attempts"],
-             row["build_s"], row["run_s"]]
+            [row["family"]] + ([] if by_family else [row["scheme"]]) + [
+                row["runs"], row["attempts"], row["build_s"], row["run_s"],
+                row["p50_run_s"], row["p95_run_s"], row["p99_run_s"],
+            ]
             for row in rows
         ],
         precision=3,
@@ -990,11 +1144,243 @@ def _cmd_obs_export(args) -> int:
     return 0
 
 
+def _cmd_obs_ingest(args) -> int:
+    from repro.obs.insight import InsightWarehouse
+    from repro.regress.runner import git_sha
+
+    stores = args.store or []
+    traces = args.trace or []
+    benches = args.bench or []
+    histories = args.history or []
+    if not (stores or traces or benches or histories):
+        print("nothing to ingest: pass at least one --store/--trace/"
+              "--bench/--history", file=sys.stderr)
+        return 2
+    sha = args.git_sha if args.git_sha else git_sha()
+    accounting: dict = {"db": args.db, "stores": {}, "traces": {},
+                        "bench": {}, "history": {}}
+    with InsightWarehouse(args.db) as warehouse:
+        for store_dir in stores:
+            try:
+                accounting["stores"][store_dir] = warehouse.ingest_store(
+                    store_dir, git_sha=sha
+                )
+            except OSError as error:
+                print(f"cannot ingest store {store_dir!r}: {error}",
+                      file=sys.stderr)
+                return 2
+        for path in traces:
+            try:
+                accounting["traces"][path] = warehouse.ingest_trace(path)
+            except OSError as error:
+                print(f"cannot ingest trace {path!r}: {error}", file=sys.stderr)
+                return 2
+        for path in benches:
+            try:
+                accounting["bench"][path] = warehouse.ingest_bench(path)
+            except (OSError, ValueError) as error:
+                print(f"cannot ingest bench {path!r}: {error}", file=sys.stderr)
+                return 2
+        for baselines_dir in histories:
+            accounting["history"][baselines_dir] = warehouse.ingest_history(
+                baselines_dir
+            )
+        counts = warehouse.counts()
+    if args.json:
+        print(json.dumps({"ingested": accounting, "warehouse": counts},
+                         indent=1, sort_keys=True))
+        return 0
+    for store_dir, result in accounting["stores"].items():
+        print(f"ingested store {store_dir}: {result['runs']} run(s), "
+              f"{result['timings']} timing line(s)")
+    for path, events in accounting["traces"].items():
+        print(f"ingested trace {path}: {events} event(s)")
+    for path, rows in accounting["bench"].items():
+        print(f"ingested bench {path}: {rows} metric(s)")
+    for baselines_dir, rows in accounting["history"].items():
+        print(f"ingested history {baselines_dir}: {rows} record(s)")
+    print()
+    print(report.render_key_values(
+        dict(counts), title=f"warehouse: {args.db}"
+    ))
+    return 0
+
+
+def _cmd_obs_query(args) -> int:
+    from pathlib import Path as _Path
+
+    from repro.obs.insight import InsightWarehouse
+
+    if not _Path(args.db).exists():
+        print(f"no warehouse at {args.db!r} — run 'obs ingest' first",
+              file=sys.stderr)
+        return 2
+    with InsightWarehouse(args.db) as warehouse:
+        rows = warehouse.query_runs(
+            family=args.family, scheme=args.scheme, label=args.label,
+            digest=args.digest, metric=args.metric,
+        )
+    total = len(rows)
+    shown = rows if args.limit is None else rows[: max(0, args.limit)]
+    if args.json:
+        print(json.dumps({"count": total, "rows": shown},
+                         indent=1, sort_keys=True))
+        return 0
+    if not rows:
+        print("0 run row(s) matched")
+        return 0
+    headers = ["family", "label", "scheme", "run", "digest", "sha"]
+    if args.metric is not None:
+        headers.append(args.metric)
+    table_rows = []
+    for row in shown:
+        cells = [row["family"], row["label"], row["scheme"],
+                 row["run_index"], str(row["digest"])[:12],
+                 row["git_sha"] or "-"]
+        if args.metric is not None:
+            value = row.get(args.metric)
+            cells.append("-" if value is None else value)
+        table_rows.append(cells)
+    print(report.format_table(headers, table_rows, precision=4))
+    suffix = "" if len(shown) == total else f" (showing {len(shown)})"
+    print(f"\n{total} run row(s) matched{suffix}")
+    return 0
+
+
+def _cmd_obs_drift(args) -> int:
+    from pathlib import Path as _Path
+
+    from repro.obs.insight import InsightWarehouse, drift_advisory
+    from repro.regress.runner import append_history
+
+    if not _Path(args.db).exists():
+        print(f"no warehouse at {args.db!r} — run 'obs ingest' first",
+              file=sys.stderr)
+        return 2
+    try:
+        with InsightWarehouse(args.db) as warehouse:
+            findings = warehouse.drift(wall_ratio=args.wall_ratio)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    ledger = None
+    if not args.no_history:
+        ledger = append_history(drift_advisory(findings), args.baselines)
+    if args.json:
+        print(json.dumps({
+            "count": len(findings),
+            "findings": findings,
+            "history": str(ledger) if ledger is not None else None,
+        }, indent=1, sort_keys=True))
+        return 0
+    if findings:
+        rows = []
+        for finding in findings:
+            cell = (f"{finding['family']}/{finding['label']}/"
+                    f"{finding['scheme']}")
+            if finding["kind"] == "metric":
+                detail = "metrics changed: " + ", ".join(finding["metrics"][:4])
+            else:
+                detail = (f"run_s {finding['base_run_s']:.3f} -> "
+                          f"{finding['run_s']:.3f} (x{finding['ratio']:.2f})")
+            rows.append([
+                finding["kind"], cell, str(finding["digest"])[:12],
+                f"{finding['from_sha'] or '-'} -> {finding['to_sha'] or '-'}",
+                detail,
+            ])
+        print(report.format_table(
+            ["kind", "cell", "digest", "shas", "detail"], rows
+        ))
+        print(f"\n{len(findings)} drift finding(s)")
+    else:
+        print("no drift: every multiply-ingested cell is metric-identical "
+              "and within the wall-time band")
+    if ledger is not None:
+        print(f"advisory row appended to {ledger}")
+    return 0
+
+
+def _cmd_obs_explain(args) -> int:
+    from repro import sweep as sweep_pkg
+    from repro.obs.explain import explain_run, render_waterfall
+    from repro.simulation.runner import scheme_run_seed
+    from repro.sweep import family_names
+
+    scheme = all_schemes().get(args.scheme)
+    if scheme is None:
+        print(f"unknown scheme '{args.scheme}'; known schemes: "
+              f"{', '.join(all_schemes())}", file=sys.stderr)
+        return 2
+    try:
+        family = sweep_pkg.family(args.family)
+    except KeyError:
+        print(f"unknown family '{args.family}'; known families: "
+              f"{', '.join(family_names())}", file=sys.stderr)
+        return 2
+    if args.step <= 0:
+        print(f"--step must be positive (got {args.step})", file=sys.stderr)
+        return 2
+    if args.run_index < 0:
+        print(f"--run-index must be non-negative (got {args.run_index})",
+              file=sys.stderr)
+        return 2
+    specs = family.expand()
+    if args.label is None:
+        spec = specs[0]
+    else:
+        spec = next((s for s in specs if s.label == args.label), None)
+        if spec is None:
+            print(f"no scenario labelled '{args.label}' in family "
+                  f"'{args.family}'; labels: "
+                  f"{', '.join(s.label for s in specs)}", file=sys.stderr)
+            return 2
+    seed = scheme_run_seed(spec.seed, args.run_index, scheme.name)
+    payload = explain_run(spec.build(), scheme, seed, step_s=args.step)
+    payload["family"] = args.family
+    payload["label"] = spec.label
+    if args.json:
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    print(f"{args.family}/{spec.label}/{scheme.name}#{args.run_index} "
+          f"(seed {seed})\n")
+    print(render_waterfall(payload))
+    return 0
+
+
+def _cmd_obs_top(args) -> int:
+    from repro.obs.progress import render_store_top
+    from repro.sweep import ResultStore
+
+    if args.interval <= 0:
+        print(f"--interval must be positive (got {args.interval})",
+              file=sys.stderr)
+        return 2
+    store = ResultStore(args.out)
+    if args.once:
+        print(render_store_top(store))
+        return 0
+    try:
+        while True:
+            frame = render_store_top(store)
+            # Clear + home first so a shrinking frame leaves no stale tail.
+            sys.stdout.write(f"\x1b[2J\x1b[H{frame}\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 def _cmd_obs(args) -> int:
     handlers = {
         "trace": _cmd_obs_trace,
         "summary": _cmd_obs_summary,
         "export": _cmd_obs_export,
+        "ingest": _cmd_obs_ingest,
+        "query": _cmd_obs_query,
+        "drift": _cmd_obs_drift,
+        "explain": _cmd_obs_explain,
+        "top": _cmd_obs_top,
     }
     return handlers[args.obs_command](args)
 

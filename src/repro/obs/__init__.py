@@ -17,6 +17,22 @@ Three pillars, all opt-in and all observation-only:
   run, written beside ``manifest.jsonl`` by the store, summarised by
   ``repro-access obs summary``.
 
+On top of the substrate sit the insight layers:
+
+- :class:`~repro.obs.insight.InsightWarehouse` — a SQLite index over any
+  number of sweep stores, traces, bench payloads and regress history
+  ledgers (``obs ingest`` / ``obs query``), with cross-sha drift
+  detection (``obs drift``) that feeds advisory rows back into the
+  ``regress history`` ledger.
+- :class:`~repro.obs.progress.SweepDashboard` — a live terminal view of
+  a running sweep (``sweep --watch`` / ``obs top``) fed by the
+  supervisor through the :class:`~repro.obs.progress.ProgressSink`
+  protocol, with a plain-line non-TTY fallback for CI.
+- :func:`~repro.obs.explain.explain_run` — the energy-savings waterfall
+  (``obs explain``): each run's kWh delta vs its no-sleep twin,
+  decomposed per device generation into gross sleep savings, standby
+  draw, wake/boot penalties and churn-forced wakes.
+
 Guard rail: with observability off there is zero work on the hot path —
 no tracer object exists, the kernel keeps only the plain integer event
 counters it always kept, and the gateway transition log stays ``None``.
@@ -24,7 +40,10 @@ With it on, instrumentation only *reads* simulation state, so traced
 results are bit-identical to untraced ones.
 """
 
+from repro.obs.explain import explain_run, render_waterfall
+from repro.obs.insight import InsightWarehouse, drift_advisory, percentile
 from repro.obs.metrics import MetricsRegistry, kernel_snapshot
+from repro.obs.progress import ProgressSink, SweepDashboard, notify, render_store_top
 from repro.obs.tracer import (
     SimTracer,
     add_gateway_segments,
@@ -33,10 +52,19 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "InsightWarehouse",
     "MetricsRegistry",
+    "ProgressSink",
     "SimTracer",
+    "SweepDashboard",
     "add_gateway_segments",
     "chrome_trace_from_events",
+    "drift_advisory",
+    "explain_run",
     "kernel_snapshot",
+    "notify",
+    "percentile",
     "read_jsonl_events",
+    "render_store_top",
+    "render_waterfall",
 ]

@@ -32,6 +32,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.progress import notify
 from repro.resilience.faults import FaultPlan, InjectedFault, apply_worker_fault
 
 #: How long the parent blocks on the outbox per loop iteration; bounds
@@ -237,6 +238,7 @@ def run_serial_supervised(
     plan: Optional[FaultPlan] = None,
     start_attempts: Optional[Dict[str, int]] = None,
     tracer=None,
+    progress=None,
 ) -> SupervisedOutcome:
     """In-process supervised execution (``workers=1`` and degraded mode).
 
@@ -246,12 +248,15 @@ def run_serial_supervised(
     the retry machinery without taking the parent down.  ``start_attempts``
     lets the degraded path continue each task's attempt count from where
     the pooled phase left it, keeping fault-at-attempt semantics intact.
-    ``tracer`` optionally records wall-clock task spans and retry events.
+    ``tracer`` optionally records wall-clock task spans and retry events;
+    ``progress`` is an optional :class:`~repro.obs.progress.ProgressSink`
+    fed through the exception-swallowing ``notify`` wrapper.
     """
     outcome = SupervisedOutcome()
     for task in tasks:
         attempt = (start_attempts or {}).get(task.digest, 0)
         while True:
+            notify(progress, "task_started", task, attempt)
             started_pc = time.perf_counter()
             try:
                 if plan is not None:
@@ -281,14 +286,17 @@ def run_serial_supervised(
                             clock="wall", cat="supervisor",
                             cell=_cell(task), attempt=attempt, backoff_s=delay,
                         )
+                    notify(progress, "task_retry", task, attempt, "error")
                     if delay > 0:
                         time.sleep(delay)
                     attempt += 1
                     outcome.retries += 1
                     continue
-                outcome.failures.append(_failure(
+                failure = _failure(
                     task, attempt, "error", f"{type(exc).__name__}: {exc}"
-                ))
+                )
+                outcome.failures.append(failure)
+                notify(progress, "task_failed", failure)
                 if not policy.keep_going:
                     raise SweepExecutionError(outcome.failures) from exc
                 break
@@ -301,6 +309,7 @@ def run_serial_supervised(
                         clock="wall", cat="supervisor",
                         cell=_cell(task), attempt=attempt,
                     )
+                notify(progress, "task_done", task, attempt, ended_pc - started_pc)
                 outcome.records[task.digest] = record
                 break
     return outcome
@@ -315,6 +324,7 @@ def run_supervised(
     workers: int = 2,
     mp_context: Optional[str] = None,
     tracer=None,
+    progress=None,
 ) -> SupervisedOutcome:
     """Execute tasks on a supervised worker pool.
 
@@ -324,7 +334,9 @@ def run_supervised(
     submission order on first assignment, so a worker's per-process
     scenario cache stays warm across a spec's contiguous cells.
     ``tracer`` records parent-side wall-clock spans (assignment to
-    resolution, one Perfetto track per worker) and retry/respawn events.
+    resolution, one Perfetto track per worker) and retry/respawn events;
+    ``progress`` is an optional :class:`~repro.obs.progress.ProgressSink`
+    fed the same events through the exception-swallowing ``notify``.
     """
     if workers < 2:
         raise ValueError("run_supervised needs >= 2 workers; use run_serial_supervised")
@@ -364,6 +376,7 @@ def run_supervised(
                     cell=_cell(task), attempt=attempt, kind=kind,
                     backoff_s=delay,
                 )
+            notify(progress, "task_retry", task, attempt, kind)
             if delay > 0:
                 waiting_seq += 1
                 heapq.heappush(
@@ -373,7 +386,9 @@ def run_supervised(
             else:
                 ready.append((task, attempt + 1))
             return
-        outcome.failures.append(_failure(task, attempt, kind, reason))
+        failure = _failure(task, attempt, kind, reason)
+        outcome.failures.append(failure)
+        notify(progress, "task_failed", failure)
         total_done += 1
         if not policy.keep_going:
             raise SweepExecutionError(outcome.failures)
@@ -406,6 +421,10 @@ def run_supervised(
             except Exception as exc:  # noqa: BLE001 — torn write / store error
                 requeue(task, attempt, "persist", f"{type(exc).__name__}: {exc}")
             else:
+                notify(
+                    progress, "task_done", task, attempt,
+                    resolved_pc - handle.assigned_pc,
+                )
                 outcome.records[task.digest] = payload
                 total_done += 1
         else:
@@ -442,6 +461,7 @@ def run_supervised(
                 if not handle.busy and ready:
                     task, attempt = ready.popleft()
                     handle.assign(task, attempt, policy, now)
+                    notify(progress, "task_started", task, attempt)
             drain(block=True)
 
             # Deadline pass: drain() above already consumed any result that
@@ -464,6 +484,7 @@ def run_supervised(
                             clock="wall", cat="supervisor", tid=handle.id,
                             cell=_cell(task), attempt=attempt,
                         )
+                    notify(progress, "task_timeout", task, attempt)
                     spawn()
                     requeue(
                         task, attempt, "timeout",
@@ -490,6 +511,7 @@ def run_supervised(
                             exit_code=code,
                             cell=_cell(task) if task is not None else None,
                         )
+                    notify(progress, "worker_respawn", handle.id, code)
                     spawn()
                     if task is not None:
                         outcome.note_attempt(
@@ -512,6 +534,7 @@ def run_supervised(
                     "supervisor.degraded", time.perf_counter(),
                     clock="wall", cat="supervisor", respawns=outcome.respawns,
                 )
+            notify(progress, "degraded", outcome.respawns)
             # Collect everything still outstanding — queued, backing off,
             # or in flight on a worker — in deterministic digest order,
             # preserving per-task attempt counts.
@@ -534,6 +557,7 @@ def run_supervised(
                     plan=plan,
                     start_attempts={d: a for d, (_t, a) in leftovers.items()},
                     tracer=tracer,
+                    progress=progress,
                 )
             except SweepInterrupted as exc:
                 # Fold the pooled phase's completions into the count.

@@ -349,6 +349,16 @@ class AccessNetworkSimulator:
             # appends to this log only while it is a list — O(transitions)
             # with a tracer, a single None check per transition without.
             self.gateway_array.transition_log = []
+        #: Tracer-gated energy-segment ledger: one ``(start, end, counts)``
+        #: entry per charged constant-power segment, where ``counts`` holds
+        #: per-generation ``(active, waking, sleeping-in-service)`` device
+        #: counts of the exact state the segment was charged with.  None
+        #: (and zero cost) without a tracer; :mod:`repro.obs.explain`
+        #: consumes it to attribute kWh deltas against the no-sleep twin.
+        self.energy_segments: Optional[List[tuple]] = (
+            [] if tracer is not None else None
+        )
+        self._energy_run_counts: Optional[tuple] = None
         self.dslam = Dslam(
             config=self._dslam_config(),
             line_ports=dict(scenario.gateway_port),
@@ -1220,6 +1230,45 @@ class AccessNetworkSimulator:
         else:
             self._flush_energy()
             self._energy_run = [start, end, active, waking, cards_on]
+            if self.energy_segments is not None:
+                self._energy_run_counts = self._segment_counts(active, waking)
+
+    def _segment_counts(self, active: int, waking: int) -> tuple:
+        """Single-generation device counts of a homogeneous segment.
+
+        ``active``/``waking`` are exactly what the segment is charged with;
+        the remainder of the in-service fleet sleeps (out-of-service
+        devices are forced asleep and excluded from ``in_service_count``).
+        """
+        sleeping = self.gateway_array.in_service_count - active - waking
+        return ((int(active), int(waking), max(0, int(sleeping))),)
+
+    def _segment_counts_het(self, segment_end: float) -> tuple:
+        """Per-generation (active, waking, sleeping-in-service) counts of
+        the state charged over the segment ending at ``segment_end``.
+
+        Called at segment creation.  The live state arrays already hold
+        the post-``step_to`` state, so for a stretched run's pre-segment —
+        charged with the state *before* the transitions applied at the
+        grid end — the log tail's later transitions are undone first.
+        """
+        array = self.gateway_array
+        state = list(array.state)
+        log = array.transition_log
+        if log:
+            for ts, gateway_id, old_state, _new_state in reversed(log):
+                if ts <= segment_end:
+                    break
+                state[gateway_id] = old_state
+        counts = [[0, 0, 0] for _ in self._generation_names]
+        generation = array._generation
+        in_service = array.in_service
+        for gateway_id, device_state in enumerate(state):
+            if not in_service[gateway_id]:
+                continue  # out-of-service devices are charged nothing
+            # Slot order (active, waking, sleeping) = states (2, 1, 0).
+            counts[generation[gateway_id]][2 - device_state] += 1
+        return tuple(tuple(per_gen) for per_gen in counts)
 
     def _accumulate_energy_het(
         self,
@@ -1247,6 +1296,8 @@ class AccessNetworkSimulator:
         else:
             self._flush_energy()
             self._energy_run = [start, end, snapshot, powered, cards_on]
+            if self.energy_segments is not None:
+                self._energy_run_counts = self._segment_counts_het(end)
 
     def _flush_energy(self) -> None:
         run = self._energy_run
@@ -1273,6 +1324,10 @@ class AccessNetworkSimulator:
         energy.charge_at("isp_modem", powered * model.isp_modem.active_w, start, duration)
         energy.charge_at("line_card", cards_on * model.line_card.active_w, start, duration)
         energy.charge_at("dslam_shelf", model.dslam_shelf.active_w, start, duration)
+        segments = self.energy_segments
+        if segments is not None:
+            segments.append((start, end, self._energy_run_counts))
+            self._energy_run_counts = None
         self._energy_run = None
 
     def _record_sample(self, now: float) -> None:

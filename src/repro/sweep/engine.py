@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.schemes import SchemeConfig, standard_schemes
 from repro.obs.metrics import MetricsRegistry, kernel_snapshot
+from repro.obs.progress import notify
 from repro.resilience.faults import (
     ChaosConfig,
     FaultKind,
@@ -348,6 +349,7 @@ def run_sweep(
     retry: Optional[RetryPolicy] = None,
     chaos: Optional[ChaosConfig] = None,
     tracer=None,
+    progress=None,
 ) -> SweepResult:
     """Run (or resume) a sweep over the given scenario families.
 
@@ -373,6 +375,12 @@ def run_sweep(
     execution, store puts, retries/respawns), and a serial
     (``workers=1``) sweep additionally records the kernel's sim-time
     events in-process.  Tracing never changes results or stored bytes.
+
+    ``progress`` attaches a :class:`~repro.obs.progress.ProgressSink`
+    (e.g. the ``sweep --watch`` dashboard): it is told the grid shape
+    and cache hits up front, then receives every supervisor event.  All
+    sink callbacks go through the exception-swallowing ``notify``
+    wrapper, so — like tracing — watching never changes results.
     """
     if workers is not None and workers <= 0:
         raise ValueError("workers must be positive")
@@ -414,6 +422,7 @@ def run_sweep(
             clock="wall", cat="sweep",
             cached=len(records), pending=len(pending),
         )
+    notify(progress, "sweep_started", tasks, frozenset(records))
 
     executed = len(pending)
     policy = retry or RetryPolicy()
@@ -468,7 +477,7 @@ def run_sweep(
             try:
                 outcome = run_serial_supervised(
                     pending, _execute_task, persist, policy, plan=plan,
-                    tracer=tracer,
+                    tracer=tracer, progress=progress,
                 )
             finally:
                 _TASK_TRACER = None
@@ -481,7 +490,7 @@ def run_sweep(
             # scenario cache stays warm.
             outcome = run_supervised(
                 pending, _execute_task, persist, policy, plan=plan,
-                workers=workers, tracer=tracer,
+                workers=workers, tracer=tracer, progress=progress,
             )
         # Unwrap: SweepResult.records holds bare RunRecords (exactly what
         # the cache-served path yields), the snapshots merge sweep-wide.
@@ -503,6 +512,7 @@ def run_sweep(
     registry.counter("supervisor.retries", retries)
     registry.counter("supervisor.respawns", respawns)
     registry.counter("supervisor.timeouts", timeouts)
+    notify(progress, "sweep_finished")
     return SweepResult(
         tasks=tasks,
         records=records,

@@ -149,6 +149,37 @@ def test_registry_merge_combines_worker_snapshots():
     assert kinds == {"runs": "counter", "run_s": "histogram"}
 
 
+def test_registry_empty_and_zero_count_histogram_snapshots():
+    registry = MetricsRegistry()
+    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    assert registry.rows() == []
+    # A zero-count histogram (a snapshot recorded before any sample
+    # landed) must not divide by zero when rendered.
+    registry.merge({"histograms": {
+        "empty": {"count": 0.0, "sum": 0.0, "min": 0.0, "max": 0.0},
+    }})
+    assert registry.rows() == [("histogram", "empty", "n=0 mean=0 min=0 max=0")]
+    # Merging nothing (None or an empty snapshot) is a no-op.
+    other = MetricsRegistry.from_snapshot(None)
+    other.merge({})
+    assert other.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_registry_merge_disjoint_counter_sets():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("kernel.steps", 5)
+    b.counter("store.cache_hits", 2)
+    b.gauge("workers", 3)
+    a.merge(b.snapshot())
+    snap = a.snapshot()
+    # Disjoint names coexist; nothing is dropped or zero-filled.
+    assert snap["counters"] == {"kernel.steps": 5, "store.cache_hits": 2}
+    assert snap["gauges"] == {"workers": 3}
+    # Merging back adds only where names collide.
+    b.merge(snap)
+    assert b.snapshot()["counters"] == {"kernel.steps": 5, "store.cache_hits": 4}
+
+
 def test_kernel_snapshot_reads_result_counters():
     result = run_scheme(tiny_scenario(), bh2_kswitch(), seed=2, step_s=5.0)
     snap = kernel_snapshot(result, wall_s=0.5)
@@ -263,4 +294,15 @@ def test_timings_ledger_reader_tolerates_torn_lines(tmp_path):
     store.append_timing({"digest": "d1", "run_s": 0.5})
     with open(store.timings_path, "a") as handle:
         handle.write('{"digest": "d2", "run_s"')
+    assert [entry["digest"] for entry in store.read_timings()] == ["d1"]
+
+
+def test_timings_ledger_reader_tolerates_truncated_final_line(tmp_path):
+    # A writer killed mid-write leaves the *existing* final line cut
+    # short (no trailing newline) rather than appending a fresh torn one.
+    store = ResultStore(tmp_path)
+    store.append_timing({"digest": "d1", "run_s": 0.5})
+    store.append_timing({"digest": "d2", "run_s": 0.7})
+    text = store.timings_path.read_text()
+    store.timings_path.write_text(text[:-15])
     assert [entry["digest"] for entry in store.read_timings()] == ["d1"]
