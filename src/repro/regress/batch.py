@@ -1,0 +1,183 @@
+"""Toleranced regression gate for the batched (``repro.vec``) sweep path.
+
+The scalar kernel carries the repo's bit-identity claim; the batched
+lane kernel is *toleranced* instead — synchronized grid stepping may
+move a flow completion or a sleep transition by up to one step, so its
+aggregates are held to committed bands rather than exact equality.
+
+``repro-access regress batch`` runs the smoke family twice — once
+through the ordinary scalar pool and once with ``batch=True`` — and
+checks two claims:
+
+* batched-vs-scalar: the fresh batched aggregates stay inside the bands
+  drawn around the fresh scalar aggregates of the very same run;
+* batched-vs-committed: the batched aggregates stay inside the bands of
+  the committed ``baselines/smoke-batch.json``.
+
+``regress batch --update`` re-exports the committed file.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.regress.baseline import (
+    Baseline,
+    MetricEntry,
+    cells_from_aggregates,
+    load_baseline,
+    metric_direction,
+    save_baseline,
+)
+from repro.regress.compare import Diff, compare_cells, compare_config
+
+# repro.regress must stay import-light: the simulator pulls it in via
+# wattopt.front mid-initialisation, so the sweep engine is imported
+# lazily inside the functions that run sweeps.
+if TYPE_CHECKING:
+    from repro.sweep.engine import SweepConfig, SweepResult
+
+#: Name of the committed batched-path baseline file.
+BATCH_BASELINE_NAME = "smoke-batch"
+
+#: The family the batched gate sweeps.  Smoke-scale keeps CI fast; the
+#: wider equivalence claims live in tests/test_vec_equivalence.py.
+BATCH_FAMILIES = ("smoke",)
+
+#: Default repetitions per scheme — 2 so the seed-invariant collapse
+#: path (replicas of a representative) is exercised, not just the lanes.
+BATCH_RUNS_PER_SCHEME = 2
+
+#: The committed band around every batched aggregate.  The batched
+#: kernel's admission/sleep quantization races are bounded by one grid
+#: step; on smoke-scale scenarios that keeps relative deltas well under
+#: these bands (see docs/kernel.md for the measured envelope).
+BATCH_REL_TOL = 0.05
+BATCH_ABS_TOL = 0.01
+
+
+def batch_config(runs: int = BATCH_RUNS_PER_SCHEME) -> "SweepConfig":
+    """The sweep configuration the batched gate runs under."""
+    from repro.sweep.engine import SweepConfig
+
+    return SweepConfig(runs_per_scheme=runs)
+
+
+def batch_config_payload(config: SweepConfig) -> Dict[str, object]:
+    """Provenance recorded in (and checked against) the batch baseline."""
+    return {
+        "runs_per_scheme": config.runs_per_scheme,
+        "step_s": config.step_s,
+        "sample_interval_s": config.sample_interval_s,
+        "batch": True,
+    }
+
+
+def _batch_entry(name: str, value: float) -> MetricEntry:
+    return MetricEntry(
+        value=float(value),
+        kind="tolerance",
+        rel_tol=BATCH_REL_TOL,
+        abs_tol=BATCH_ABS_TOL,
+        direction=metric_direction(name),
+    )
+
+
+def _banded_baseline(
+    name: str,
+    cells: Mapping[str, Mapping[str, float]],
+    config: Mapping[str, object],
+) -> Baseline:
+    return Baseline(
+        name=name,
+        kind="sweep-family",
+        config=dict(config),
+        cells={
+            cell: {metric: _batch_entry(metric, value)
+                   for metric, value in metrics.items()}
+            for cell, metrics in cells.items()
+        },
+    )
+
+
+def run_batch_pair(
+    config: Optional["SweepConfig"] = None,
+    families: Sequence[str] = BATCH_FAMILIES,
+) -> Tuple["SweepResult", "SweepResult"]:
+    """One scalar and one batched sweep of the gate families.
+
+    Both run against throwaway stores so neither can serve the other
+    from cache — the point is to execute both kernels.
+    """
+    from repro.sweep.engine import run_sweep
+    from repro.sweep.store import ResultStore
+
+    config = config or batch_config()
+    with tempfile.TemporaryDirectory(prefix="regress-batch-") as tmp:
+        scalar = run_sweep(
+            family_names=list(families),
+            config=config,
+            store=ResultStore(f"{tmp}/scalar"),
+        )
+        batched = run_sweep(
+            family_names=list(families),
+            config=config,
+            store=ResultStore(f"{tmp}/batch"),
+            batch=True,
+        )
+    return scalar, batched
+
+
+def check_batch(
+    baselines_dir: str,
+    config: Optional[SweepConfig] = None,
+    families: Sequence[str] = BATCH_FAMILIES,
+) -> List[Diff]:
+    """Diffs of one fresh batched sweep against both claims.
+
+    The batched aggregates are compared against bands drawn around the
+    same run's scalar aggregates (``<name>-vs-scalar`` diffs) and
+    against the committed ``baselines/smoke-batch.json``.
+    """
+    config = config or batch_config()
+    scalar, batched = run_batch_pair(config, families)
+    observed = cells_from_aggregates(batched.aggregates())
+    config_payload = batch_config_payload(config)
+
+    vs_scalar = _banded_baseline(
+        f"{BATCH_BASELINE_NAME}-vs-scalar",
+        cells_from_aggregates(scalar.aggregates()),
+        config_payload,
+    )
+    diffs = compare_cells(vs_scalar, observed)
+
+    committed = load_baseline(baselines_dir, BATCH_BASELINE_NAME)
+    if committed is None:
+        diffs.append(Diff(
+            baseline=BATCH_BASELINE_NAME,
+            cell=f"{baselines_dir}/{BATCH_BASELINE_NAME}.json",
+            metric="*", status="missing",
+            detail="no committed batch baseline; run "
+                   "'repro-access regress batch --update'",
+        ))
+        return diffs
+    diffs.extend(compare_config(committed, config_payload))
+    diffs.extend(compare_cells(committed, observed))
+    return diffs
+
+
+def update_batch(
+    baselines_dir: str,
+    config: Optional[SweepConfig] = None,
+    families: Sequence[str] = BATCH_FAMILIES,
+):
+    """Re-export ``baselines/smoke-batch.json`` from a fresh batched sweep."""
+    config = config or batch_config()
+    _, batched = run_batch_pair(config, families)
+    baseline = _banded_baseline(
+        BATCH_BASELINE_NAME,
+        cells_from_aggregates(batched.aggregates()),
+        batch_config_payload(config),
+    )
+    return save_baseline(baselines_dir, baseline)

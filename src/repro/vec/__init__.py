@@ -1,0 +1,23 @@
+"""Batched vectorized execution: many sweep lanes per numpy program.
+
+One :func:`~repro.vec.kernel.run_lanes` call simulates all compatible
+scheme lanes of one scenario on stacked (lane × gateway) and
+(lane × flow) columnar arrays with synchronized grid stepping; the
+:mod:`~repro.vec.packer` decides which grid cells may batch, collapses
+seed-invariant repetitions, and peels structurally diverging lanes back
+to the exact scalar kernel.  The scalar path stays the bit-identity
+oracle; batched metrics are held to committed tolerance bands.
+"""
+
+from repro.vec.kernel import LaneOutcome, VecIneligible, run_lanes
+from repro.vec.packer import BatchPlan, BatchStats, plan_batch, vec_eligible
+
+__all__ = [
+    "BatchPlan",
+    "BatchStats",
+    "LaneOutcome",
+    "VecIneligible",
+    "plan_batch",
+    "run_lanes",
+    "vec_eligible",
+]

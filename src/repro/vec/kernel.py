@@ -1,0 +1,540 @@
+"""The batched lane kernel: N scheme lanes of one scenario per program.
+
+Stacked columnar state — ``(lane, gateway)`` arrays for the Sleep-on-Idle
+state machines and ``(lane, flow)`` arrays for in-flight transfers — is
+advanced over a *synchronized* step grid ``t = i * step_s``.  Each loop
+iteration covers one provably completion-free span: the span end is the
+earliest upcoming event instant (metric sample, flow arrival, wake
+deadline, idle-timeout sleep deadline, analytic flow completion)
+quantized *up* to the grid, flows are served linearly over the bulk of
+the span, and the final grid step replays the scalar kernel's careful
+clamp-and-complete arithmetic.  State transitions (wake completions,
+idle-timeout sleeps) are applied at span ends exactly where
+:meth:`~repro.access.gateway_array.GatewayArray.step_to` applies them.
+
+The scalar kernel re-anchors its grid on off-grid arrival instants, so
+the batched trajectory is *not* bit-identical to it — it is held to the
+committed tolerance bands instead (``baselines/smoke-batch.json``,
+``tests/test_vec_equivalence.py``).  Anything the lane model cannot
+represent (BH2/optimal aggregation, watt-aware solvers, heterogeneous
+fleets, churn) is ineligible up front (:class:`VecIneligible`) or peels
+the lane back to the exact scalar kernel (:class:`LaneOutcome` with
+``diverged_at`` set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, inf
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.access.dslam import Dslam, SwitchingMode
+from repro.core.schemes import AggregationKind, SchemeConfig, SwitchingKind
+from repro.flows.flow import FlowRecord
+from repro.power.energy import EnergyAccumulator
+from repro.power.models import DEFAULT_POWER_MODEL
+from repro.simulation.simulator import SimulationResult
+
+_SLEEPING, _WAKING, _ACTIVE = 0, 1, 2
+
+#: Remaining-bytes epsilon below which a flow counts as completed — the
+#: same constant the scalar :class:`~repro.flows.scheduler.FlowScheduler`
+#: uses, so near-boundary completions agree across kernels.
+_DONE_BYTES = 1e-9
+
+#: Test hook: scheme name -> sim instant at which that lane must report a
+#: structural divergence.  Lets the peel path be exercised without
+#: constructing a genuinely diverging scenario (see
+#: ``tests/test_vec_peel.py``).  Always empty in production.
+_TEST_FORCE_DIVERGE: Dict[str, float] = {}
+
+
+class VecIneligible(ValueError):
+    """The scenario or a scheme cannot be represented as a batched lane."""
+
+
+@dataclass
+class LaneOutcome:
+    """One lane's verdict: a finished result, or a divergence instant.
+
+    ``diverged_at`` is the simulation instant at which the lane left the
+    structural envelope of the batched model; the caller re-runs the cell
+    through the exact scalar kernel from t=0 (peel-as-restart — lane
+    state is scenario-deterministic, so nothing is lost).
+    """
+
+    scheme: SchemeConfig
+    result: Optional[SimulationResult]
+    diverged_at: Optional[float] = None
+
+
+def check_lane_eligibility(
+    scenario, schemes: Sequence[SchemeConfig], step_s: float, sample_interval_s: float
+) -> None:
+    """Raise :class:`VecIneligible` unless every lane fits the batched model.
+
+    The envelope: simple home-gateway routing (no BH2/optimal
+    aggregation), no watt-aware solvers, no idealized transitions, a
+    homogeneous static fleet (no ``fleet`` profile, no ``churn``
+    timeline), and a sample interval that is a whole number of steps so
+    sample instants land on the shared grid.
+    """
+    if scenario.fleet is not None:
+        raise VecIneligible("heterogeneous fleet profiles are scalar-only")
+    if scenario.churn is not None:
+        raise VecIneligible("churn timelines are scalar-only")
+    ratio = sample_interval_s / step_s
+    if abs(ratio - round(ratio)) > 1e-9:
+        raise VecIneligible("sample_interval_s must be a multiple of step_s")
+    for scheme in schemes:
+        if scheme.aggregation is not AggregationKind.NONE:
+            raise VecIneligible(f"{scheme.name}: aggregation needs the scalar kernel")
+        if scheme.watt_aware:
+            raise VecIneligible(f"{scheme.name}: watt solvers are scalar-only")
+        if scheme.idealized_transitions:
+            raise VecIneligible(f"{scheme.name}: idealized transitions are scalar-only")
+
+
+def _dslam_config(base, scheme: SchemeConfig):
+    """Per-scheme DSLAM config — mirror of the scalar ``_dslam_config``."""
+    if scheme.switching is SwitchingKind.NONE:
+        return base.with_switch(None, full=False)
+    if scheme.switching is SwitchingKind.FULL:
+        return base.with_switch(None, full=True)
+    return base.with_switch(base.switch_size or 4, full=False)
+
+
+def run_lanes(
+    scenario,
+    schemes: Sequence[SchemeConfig],
+    *,
+    step_s: float,
+    sample_interval_s: float = 60.0,
+    power_model=DEFAULT_POWER_MODEL,
+) -> List[LaneOutcome]:
+    """Simulate every scheme lane over one scenario in a single program.
+
+    Returns one :class:`LaneOutcome` per scheme, in input order.  A lane
+    that diverges mid-run gets ``result=None`` and its divergence
+    instant; the remaining lanes keep running to the horizon.  Raises
+    :class:`VecIneligible` when the scenario/scheme combination cannot be
+    batched at all (callers then fall back to the scalar pool wholesale).
+    """
+    check_lane_eligibility(scenario, schemes, step_s, sample_interval_s)
+    lanes = len(schemes)
+    num_gateways = scenario.num_gateways
+    horizon = float(scenario.trace.duration)
+    model = power_model
+    step = float(step_s)
+
+    flows = scenario.trace.all_flows()
+    total_flows = len(flows)
+    home = scenario.trace.home_gateway
+    flow_gw = np.fromiter(
+        (home[f.client_id] for f in flows), dtype=np.int64, count=total_flows
+    )
+    flow_start = np.fromiter(
+        (f.start_time for f in flows), dtype=np.float64, count=total_flows
+    )
+    flow_size = np.fromiter(
+        (float(f.size_bytes) for f in flows), dtype=np.float64, count=total_flows
+    )
+    # Simple routing + zero shadowing makes every home link's capacity the
+    # configured base rate (clamped like WirelessChannel.capacity).
+    home_cap = max(1e5, float(scenario.wireless.home_capacity_bps))
+    backhaul = float(scenario.wireless.backhaul_bps)
+
+    sleep_lane = np.fromiter(
+        (s.sleep_enabled for s in schemes), dtype=bool, count=lanes
+    )
+    idle_timeout = np.fromiter(
+        (s.soi.idle_timeout_s if s.sleep_enabled else inf for s in schemes),
+        dtype=np.float64, count=lanes,
+    )
+    wake_time = np.fromiter(
+        (s.soi.wake_up_time_s for s in schemes), dtype=np.float64, count=lanes
+    )
+
+    # --- stacked state -------------------------------------------------
+    state = np.full((lanes, num_gateways), _ACTIVE, dtype=np.int8)
+    state[sleep_lane, :] = _SLEEPING
+    entered_at = np.zeros((lanes, num_gateways))
+    online_seconds = np.zeros((lanes, num_gateways))
+    waking_seconds = np.zeros((lanes, num_gateways))
+    last_traffic = np.zeros((lanes, num_gateways))
+    wake_deadline = np.full((lanes, num_gateways), inf)
+    counts = np.zeros((lanes, num_gateways), dtype=np.int64)
+
+    remaining = np.zeros((lanes, total_flows))
+    alive = np.zeros((lanes, total_flows), dtype=bool)
+    completion = np.full((lanes, total_flows), np.nan)
+
+    lane_live = np.ones(lanes, dtype=bool)
+    diverged_at: List[Optional[float]] = [None] * lanes
+    force = {
+        index: _TEST_FORCE_DIVERGE[s.name]
+        for index, s in enumerate(schemes)
+        if s.name in _TEST_FORCE_DIVERGE
+    }
+
+    dslams = [
+        Dslam(
+            config=_dslam_config(scenario.dslam, s),
+            line_ports=dict(scenario.gateway_port),
+        )
+        for s in schemes
+    ]
+    cards_on = np.zeros(lanes, dtype=np.int64)
+    for lane in range(lanes):
+        not_sleeping = [
+            g for g in range(num_gateways) if state[lane, g] != _SLEEPING
+        ]
+        cards_on[lane] = len(dslams[lane].online_cards(not_sleeping))
+
+    accumulators = [
+        EnergyAccumulator(interval_seconds=sample_interval_s, horizon=horizon)
+        for _ in schemes
+    ]
+    samples: List[List[tuple]] = [[] for _ in schemes]
+
+    def sync_dslam(lane: int) -> None:
+        dslam = dslams[lane]
+        if dslam.mode is not SwitchingMode.FIXED:
+            line_active = {
+                g: state[lane, g] != _SLEEPING for g in range(num_gateways)
+            }
+            movable = {
+                g for g in range(num_gateways) if state[lane, g] != _ACTIVE
+            }
+            dslam.rewire(line_active, movable)
+        not_sleeping = [
+            g for g in range(num_gateways) if state[lane, g] != _SLEEPING
+        ]
+        cards_on[lane] = len(dslam.online_cards(not_sleeping))
+
+    def charge(lane: int, start: float, end: float, active: int, waking: int, cards: int) -> None:
+        duration = end - start
+        accumulator = accumulators[lane]
+        accumulator.charge_at(
+            "gateway", model.user_side_power(active, waking), start, duration
+        )
+        accumulator.charge_at(
+            "isp_modem", (active + waking) * model.isp_modem.active_w, start, duration
+        )
+        accumulator.charge_at(
+            "line_card", cards * model.line_card.active_w, start, duration
+        )
+        accumulator.charge_at(
+            "dslam_shelf", model.dslam_shelf.active_w, start, duration
+        )
+
+    now = 0.0
+    next_sample = 0.0
+    arrival_index = 0
+    window_low = 0
+    spans = 0
+
+    def qup(instant: float) -> float:
+        """``instant`` quantized up to the shared grid, at least one step."""
+        steps_up = ceil((instant - now) / step - 1e-9)
+        if steps_up < 1:
+            steps_up = 1
+        return now + steps_up * step
+
+    # --- main loop: one iteration per completion-free span -------------
+    while now < horizon and lane_live.any():
+        if now >= next_sample:
+            active_counts = (state == _ACTIVE).sum(axis=1)
+            waking_counts = (state == _WAKING).sum(axis=1)
+            for lane in range(lanes):
+                if lane_live[lane]:
+                    powered = int(active_counts[lane] + waking_counts[lane])
+                    samples[lane].append(
+                        (now, powered, int(waking_counts[lane]), powered, int(cards_on[lane]))
+                    )
+            next_sample += sample_interval_s
+        for lane, instant in force.items():
+            if lane_live[lane] and instant <= now:
+                lane_live[lane] = False
+                diverged_at[lane] = now
+        if not lane_live.any():
+            break
+
+        # ---- admissions at this grid instant
+        if arrival_index < total_flows and flow_start[arrival_index] <= now:
+            stop = int(np.searchsorted(flow_start, now, side="right"))
+            new = slice(arrival_index, stop)
+            gateways = flow_gw[new]
+            alive[:, new] = True
+            remaining[:, new] = flow_size[new]
+            counts += np.bincount(gateways, minlength=num_gateways)[None, :]
+            touched = np.unique(gateways)
+            woken_now = state[:, touched] == _SLEEPING
+            if woken_now.any():
+                sub = state[:, touched]
+                sub[woken_now] = _WAKING
+                state[:, touched] = sub
+                sub = entered_at[:, touched]
+                sub[woken_now] = now
+                entered_at[:, touched] = sub
+                sub = wake_deadline[:, touched]
+                sub[woken_now] = now + np.broadcast_to(
+                    wake_time[:, None], woken_now.shape
+                )[woken_now]
+                wake_deadline[:, touched] = sub
+                # A wake request changes the not-sleeping set, so the
+                # line-card count must refresh *now*: the booting
+                # gateway's card powers for the whole wake period.
+                for lane in np.nonzero(woken_now.any(axis=1) & lane_live)[0]:
+                    sync_dslam(int(lane))
+            last_traffic[:, touched] = now
+            arrival_index = stop
+
+        # ---- serving rates for this span (constant within the span)
+        serving = (state == _ACTIVE) & (counts > 0)
+        safe_counts = np.maximum(counts, 1)
+        rate_gw = np.where(serving, np.minimum(home_cap, backhaul / safe_counts), 0.0)
+
+        window = slice(window_low, arrival_index)
+        flows_alive = alive[:, window]
+        any_serving = False
+        idle_mask = (state == _ACTIVE) & (counts == 0) & sleep_lane[:, None]
+        if not flows_alive.any():
+            # ---- globally idle: every lane's scheduler is empty, which is
+            # exactly when the scalar kernel's idle path re-anchors its
+            # grid on the next event.  Mirror it: end the span at the
+            # *exact* event instant (floored at one step) and let the
+            # shared grid re-anchor there — this is what keeps batched
+            # admission/sleep instants aligned with the scalar kernel in
+            # the paper's sparse-traffic regime.
+            candidates = [next_sample, horizon]
+            if arrival_index < total_flows:
+                candidates.append(float(flow_start[arrival_index]))
+            if idle_mask.any():
+                deadlines = (last_traffic + idle_timeout[:, None])[idle_mask]
+                candidates.append(float(deadlines.min()))
+            target = min(c for c in candidates if c > now)
+            end = now + max(step, target - now)
+        else:
+            # ---- some lane is busy: march the shared grid, quantizing
+            # every upcoming event instant up to the next grid step (the
+            # scalar kernel's busy path admits/transitions at its own
+            # step ends the same way — including samples, which drift to
+            # the first step end >= the sample instant while busy).
+            end = min(qup(next_sample), qup(horizon))
+            if arrival_index < total_flows:
+                end = min(end, qup(flow_start[arrival_index]))
+            waking_mask = state == _WAKING
+            if waking_mask.any():
+                end = min(end, qup(float(wake_deadline[waking_mask].min())))
+            if idle_mask.any():
+                deadlines = (last_traffic + idle_timeout[:, None])[idle_mask]
+                end = min(end, qup(float(deadlines.min())))
+            window_gateways = flow_gw[window]
+            flow_rate = rate_gw[:, window_gateways]
+            serve_mask = flows_alive & (flow_rate > 0.0)
+            any_serving = bool(serve_mask.any())
+            if any_serving:
+                flow_remaining = remaining[:, window]
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    drain = np.where(
+                        serve_mask, flow_remaining * 8.0 / flow_rate, inf
+                    )
+                end = min(end, qup(now + float(drain.min())))
+
+        span = end - now
+        # ---- serve: linear bulk phase, then the careful final grid step
+        if any_serving:
+            flow_remaining = remaining[:, window].copy()
+            rate_safe = np.where(serve_mask, flow_rate, 1.0)
+            completed_span = np.zeros(serve_mask.shape, dtype=bool)
+            completion_span = np.zeros(serve_mask.shape)
+            bulk = span - step
+            if bulk > 0.0:
+                bits = np.where(
+                    serve_mask,
+                    np.minimum(flow_rate * bulk, flow_remaining * 8.0),
+                    0.0,
+                )
+                flow_remaining -= bits / 8.0
+                done = serve_mask & (flow_remaining <= _DONE_BYTES)
+                if done.any():
+                    completed_span |= done
+                    completion_span[done] = now + np.minimum(
+                        bulk, (bits / rate_safe)[done]
+                    )
+            final_mask = serve_mask & ~completed_span
+            if final_mask.any():
+                bits = np.where(
+                    final_mask,
+                    np.minimum(flow_rate * step, flow_remaining * 8.0),
+                    0.0,
+                )
+                flow_remaining -= bits / 8.0
+                done = final_mask & (flow_remaining <= _DONE_BYTES)
+                if done.any():
+                    completed_span |= done
+                    completion_span[done] = (end - step) + np.minimum(
+                        step, (bits / rate_safe)[done]
+                    )
+            remaining[:, window] = flow_remaining
+            if completed_span.any():
+                alive_window = alive[:, window]
+                alive_window &= ~completed_span
+                alive[:, window] = alive_window
+                completion_window = completion[:, window]
+                completion_window[completed_span] = completion_span[completed_span]
+                completion[:, window] = completion_window
+                for lane in range(lanes):
+                    finished = completed_span[lane]
+                    if finished.any():
+                        counts[lane] -= np.bincount(
+                            window_gateways[finished], minlength=num_gateways
+                        )
+
+        # ---- span-end transitions (the step_to contract, vectorized)
+        pre_active = (state == _ACTIVE).sum(axis=1)
+        pre_waking = (state == _WAKING).sum(axis=1)
+        pre_cards = cards_on.copy()
+        pending = (counts > 0) | serving
+        np.copyto(last_traffic, end, where=pending)
+        woken = (state == _WAKING) & (wake_deadline <= end)
+        if woken.any():
+            waking_seconds[woken] += (end - entered_at)[woken]
+            state[woken] = _ACTIVE
+            entered_at[woken] = end
+            last_traffic[woken] = end
+            wake_deadline[woken] = inf
+        asleep = (
+            (state == _ACTIVE)
+            & ~woken
+            & ~pending
+            & ((end - last_traffic) >= idle_timeout[:, None])
+        )
+        if asleep.any():
+            online_seconds[asleep] += (end - entered_at)[asleep]
+            state[asleep] = _SLEEPING
+            entered_at[asleep] = end
+        changed = (woken | asleep).any(axis=1)
+        for lane in np.nonzero(changed & lane_live)[0]:
+            sync_dslam(int(lane))
+
+        # ---- energy: one constant-power charge per span (or a pre/post
+        # split when the final grid step changed the charged state)
+        post_active = (state == _ACTIVE).sum(axis=1)
+        post_waking = (state == _WAKING).sum(axis=1)
+        multi_step = span > step * 1.5
+        for lane in np.nonzero(lane_live)[0]:
+            lane = int(lane)
+            unchanged = (
+                post_active[lane] == pre_active[lane]
+                and post_waking[lane] == pre_waking[lane]
+                and cards_on[lane] == pre_cards[lane]
+            )
+            if not multi_step or unchanged:
+                charge(
+                    lane, now, end,
+                    int(post_active[lane]), int(post_waking[lane]),
+                    int(cards_on[lane]),
+                )
+            else:
+                charge(
+                    lane, now, end - step,
+                    int(pre_active[lane]), int(pre_waking[lane]),
+                    int(pre_cards[lane]),
+                )
+                charge(
+                    lane, end - step, end,
+                    int(post_active[lane]), int(post_waking[lane]),
+                    int(cards_on[lane]),
+                )
+
+        now = end
+        spans += 1
+        while window_low < arrival_index and not alive[:, window_low].any():
+            window_low += 1
+
+    # ---- post-loop: final-instant divergence hook, flush, last sample
+    for lane, instant in force.items():
+        if lane_live[lane] and instant <= horizon:
+            lane_live[lane] = False
+            diverged_at[lane] = min(instant, horizon)
+    is_active = state == _ACTIVE
+    online_seconds[is_active] += (now - entered_at)[is_active]
+    is_waking = state == _WAKING
+    waking_seconds[is_waking] += (now - entered_at)[is_waking]
+    final_instant = min(now, horizon)
+    active_counts = (state == _ACTIVE).sum(axis=1)
+    waking_counts = (state == _WAKING).sum(axis=1)
+    for lane in range(lanes):
+        if lane_live[lane]:
+            powered = int(active_counts[lane] + waking_counts[lane])
+            samples[lane].append(
+                (final_instant, powered, int(waking_counts[lane]), powered, int(cards_on[lane]))
+            )
+
+    # ---- per-lane results ---------------------------------------------
+    baseline_isp = model.isp_side_power(
+        modems_online=num_gateways,
+        line_cards_online=scenario.dslam.num_line_cards,
+    )
+    baseline_power = model.no_sleep_power(
+        num_gateways=num_gateways,
+        num_line_cards=scenario.dslam.num_line_cards,
+    )
+    outcomes: List[LaneOutcome] = []
+    for lane, scheme in enumerate(schemes):
+        if not lane_live[lane]:
+            outcomes.append(LaneOutcome(
+                scheme=scheme, result=None, diverged_at=diverged_at[lane],
+            ))
+            continue
+        finished = np.nonzero(~np.isnan(completion[lane]))[0]
+        order = finished[np.argsort(completion[lane, finished], kind="stable")]
+        records = [
+            FlowRecord(
+                flow_id=flows[i].flow_id,
+                client_id=flows[i].client_id,
+                gateway_id=int(flow_gw[i]),
+                size_bytes=flows[i].size_bytes,
+                arrival_time=flows[i].start_time,
+                completion_time=float(completion[lane, i]),
+            )
+            for i in order
+        ]
+        lane_samples = np.array(samples[lane], dtype=float)
+        times, totals = accumulators[lane].timeseries()
+        _times, isp = accumulators[lane].timeseries(
+            categories=("isp_modem", "line_card", "dslam_shelf")
+        )
+        breakdown = accumulators[lane].breakdown()
+        outcomes.append(LaneOutcome(scheme=scheme, result=SimulationResult(
+            scheme_name=scheme.name,
+            duration=horizon,
+            num_gateways=num_gateways,
+            num_line_cards=scenario.dslam.num_line_cards,
+            sample_times=lane_samples[:, 0] if lane_samples.size else np.array([]),
+            online_gateways=lane_samples[:, 1] if lane_samples.size else np.array([]),
+            waking_gateways=lane_samples[:, 2] if lane_samples.size else np.array([]),
+            online_modems=lane_samples[:, 3] if lane_samples.size else np.array([]),
+            online_line_cards=lane_samples[:, 4] if lane_samples.size else np.array([]),
+            energy=breakdown,
+            energy_series_times=np.array(times, dtype=float),
+            energy_series_total_j=np.array(totals, dtype=float),
+            energy_series_isp_j=np.array(isp, dtype=float),
+            flow_records=records,
+            gateway_online_seconds={
+                g: float(online_seconds[lane, g] + waking_seconds[lane, g])
+                for g in range(num_gateways)
+            },
+            baseline_power_w=baseline_power,
+            baseline_isp_power_w=baseline_isp,
+            steps_taken=spans,
+            generation_energy_j={
+                "default": breakdown.per_category_j.get("gateway", 0.0)
+            },
+            generation_counts={"default": num_gateways},
+        )))
+    return outcomes

@@ -1,0 +1,147 @@
+"""Batch planning: which grid cells may share one vectorized program.
+
+The packer looks at a sweep's *pending* tasks (cache misses) and sorts
+every cell into one of three buckets:
+
+* **vec lanes** — one representative per (scenario, scheme) whose scheme
+  fits the batched lane model (:func:`vec_eligible`); all lanes of one
+  scenario run together through :func:`~repro.vec.kernel.run_lanes`.
+* **collapsed replicas** — further repetitions of a run-seed-invariant
+  scheme.  Only BH2 consumes the per-run RNG stream (terminal creation),
+  so every other scheme's repetitions are bit-identical to their
+  representative and are replicated from its stored metrics instead of
+  re-simulated.  Each replica still gets its own digest, seed and store
+  record, so caches and resumes behave exactly as in scalar mode.
+* **scalar tasks** — everything else (BH2 repetitions, ineligible
+  representatives, and lanes the kernel later peels), executed by the
+  ordinary supervised pool.
+
+The engine (:func:`repro.sweep.engine.run_sweep` with ``batch=True``)
+consumes the plan; this module never executes anything itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.schemes import AggregationKind, SchemeConfig
+
+from repro.vec.kernel import LaneOutcome, VecIneligible, run_lanes  # noqa: F401 — re-exported
+
+#: Tolerance for "the sample interval is a whole number of steps".
+_RATIO_EPS = 1e-9
+
+
+def collapsible(scheme: SchemeConfig) -> bool:
+    """Whether repetitions of ``scheme`` are run-seed-invariant.
+
+    The per-run RNG stream is consumed only by BH2's terminal creation;
+    every other scheme's trajectory depends solely on the scenario seed,
+    so repetition 0 already *is* repetitions 1..N-1.
+    """
+    return scheme.aggregation is not AggregationKind.BH2
+
+
+def vec_eligible(spec, scheme: SchemeConfig, step_s: float, sample_interval_s: float) -> bool:
+    """Whether one grid cell fits the batched lane model.
+
+    Mirrors :func:`repro.vec.kernel.check_lane_eligibility` on the cheap
+    spec fields so planning never has to build a scenario.
+    """
+    if getattr(spec, "fleet", "homogeneous") != "homogeneous":
+        return False
+    if getattr(spec, "churn", "none") != "none":
+        return False
+    ratio = sample_interval_s / step_s
+    if abs(ratio - round(ratio)) > _RATIO_EPS:
+        return False
+    if scheme.aggregation is not AggregationKind.NONE:
+        return False
+    if scheme.watt_aware or scheme.idealized_transitions:
+        return False
+    return True
+
+
+@dataclass
+class VecGroup:
+    """All batched lanes of one (scenario, step, sample-interval) cell."""
+
+    spec: object
+    step_s: float
+    sample_interval_s: float
+    #: One representative SweepTask per vec-eligible scheme, grid order.
+    lanes: List[object] = field(default_factory=list)
+
+
+@dataclass
+class CollapseGroup:
+    """Repetitions replicated from one representative's stored record."""
+
+    representative: object
+    siblings: List[object] = field(default_factory=list)
+
+
+@dataclass
+class BatchStats:
+    """Accounting of one batched sweep (rendered by the sweep report)."""
+
+    batched: int = 0
+    collapsed: int = 0
+    peeled: int = 0
+    groups: int = 0
+
+
+@dataclass
+class BatchPlan:
+    """The packer's verdict over a sweep's pending tasks."""
+
+    vec_groups: List[VecGroup] = field(default_factory=list)
+    collapse_groups: List[CollapseGroup] = field(default_factory=list)
+    scalar_tasks: List[object] = field(default_factory=list)
+
+    @property
+    def lane_count(self) -> int:
+        return sum(len(group.lanes) for group in self.vec_groups)
+
+
+def plan_batch(tasks: Sequence) -> BatchPlan:
+    """Sort pending grid cells into vec lanes, replicas and scalar tasks.
+
+    ``tasks`` are engine ``SweepTask``s (duck-typed here to keep the
+    dependency arrow pointing engine → packer).  Order is preserved
+    within every bucket, so the scalar pool still sees its cells in grid
+    order and worker scenario caches stay warm.
+    """
+    buckets: Dict[Tuple, Dict[str, List]] = {}
+    order: List[Tuple] = []
+    for task in tasks:
+        key = (task.spec, task.step_s, task.sample_interval_s)
+        per_scheme = buckets.get(key)
+        if per_scheme is None:
+            per_scheme = buckets[key] = {}
+            order.append(key)
+        per_scheme.setdefault(task.scheme.name, []).append(task)
+
+    plan = BatchPlan()
+    for key in order:
+        spec, step_s, sample_interval_s = key
+        group = VecGroup(spec=spec, step_s=step_s, sample_interval_s=sample_interval_s)
+        for repetitions in buckets[key].values():
+            repetitions = sorted(repetitions, key=lambda t: t.run_index)
+            scheme = repetitions[0].scheme
+            if not collapsible(scheme):
+                plan.scalar_tasks.extend(repetitions)
+                continue
+            representative, siblings = repetitions[0], repetitions[1:]
+            if vec_eligible(spec, scheme, step_s, sample_interval_s):
+                group.lanes.append(representative)
+            else:
+                plan.scalar_tasks.append(representative)
+            if siblings:
+                plan.collapse_groups.append(
+                    CollapseGroup(representative=representative, siblings=siblings)
+                )
+        if group.lanes:
+            plan.vec_groups.append(group)
+    return plan

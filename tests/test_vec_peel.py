@@ -1,0 +1,117 @@
+"""Divergence-peel edge cases for the batched (repro.vec) path.
+
+A lane that leaves the batched model's structural envelope is peeled:
+the cell re-runs from t=0 through the exact scalar kernel (lane state is
+scenario-deterministic, so a restart loses nothing).  The
+``_TEST_FORCE_DIVERGE`` hook forces a divergence at a chosen instant so
+the first-step, final-step and everybody-diverges corners are all
+exercised without constructing genuinely diverging physics.
+"""
+
+import pytest
+
+from repro.analysis import figures
+from repro.core.schemes import AggregationKind, standard_schemes
+from repro.sweep.engine import SweepConfig, run_sweep
+from repro.sweep.store import ResultStore
+from repro.vec import kernel
+
+SMOKE_HORIZON = 1800.0
+CONFIG = SweepConfig(runs_per_scheme=1)
+
+def _small_scale():
+    return figures.EvaluationScale(
+        num_clients=12, num_gateways=4, duration_s=1800.0, step_s=2.0, seed=71
+    )
+
+
+VEC_SCHEMES = [
+    s for s in standard_schemes()
+    if s.aggregation is AggregationKind.NONE
+    and not s.watt_aware and not s.idealized_transitions
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_force_hook():
+    kernel._TEST_FORCE_DIVERGE.clear()
+    yield
+    kernel._TEST_FORCE_DIVERGE.clear()
+
+
+@pytest.fixture(scope="module")
+def scalar_reference(tmp_path_factory):
+    result = run_sweep(
+        family_names=["smoke"], config=CONFIG,
+        store=ResultStore(tmp_path_factory.mktemp("scalar-ref")),
+    )
+    return {
+        (r.scheme, r.run_index): r.metrics for r in result.records.values()
+    }
+
+
+def _batch_metrics(tmp_path):
+    result = run_sweep(
+        family_names=["smoke"], config=CONFIG,
+        store=ResultStore(tmp_path), batch=True,
+    )
+    return result, {
+        (r.scheme, r.run_index): r.metrics for r in result.records.values()
+    }
+
+
+# ----------------------------------------------------------------------
+# Kernel level
+# ----------------------------------------------------------------------
+def test_lane_diverging_on_first_step_reports_instant_zero():
+    scenario = figures.build_scenario(_small_scale())
+    kernel._TEST_FORCE_DIVERGE[VEC_SCHEMES[1].name] = 0.0
+    outcomes = kernel.run_lanes(scenario, VEC_SCHEMES, step_s=2.0)
+    assert outcomes[1].result is None
+    assert outcomes[1].diverged_at == 0.0
+    # The surviving lanes still run to the horizon.
+    for index in (0, 2):
+        assert outcomes[index].result is not None
+        assert outcomes[index].diverged_at is None
+
+
+def test_lane_diverging_on_final_step_reports_the_horizon():
+    scenario = figures.build_scenario(_small_scale())
+    horizon = float(scenario.trace.duration)
+    kernel._TEST_FORCE_DIVERGE[VEC_SCHEMES[0].name] = horizon
+    outcomes = kernel.run_lanes(scenario, VEC_SCHEMES, step_s=2.0)
+    assert outcomes[0].result is None
+    assert outcomes[0].diverged_at == horizon
+    assert outcomes[1].result is not None
+
+
+# ----------------------------------------------------------------------
+# Engine level: peeled cells re-run through the exact scalar kernel
+# ----------------------------------------------------------------------
+def test_first_step_peel_restores_bit_identity(tmp_path, scalar_reference):
+    kernel._TEST_FORCE_DIVERGE[VEC_SCHEMES[1].name] = 0.0
+    result, cells = _batch_metrics(tmp_path)
+    assert result.peeled == 1
+    assert result.batched == 2
+    assert not result.failures
+    assert cells == scalar_reference
+
+
+def test_final_step_peel_restores_bit_identity(tmp_path, scalar_reference):
+    kernel._TEST_FORCE_DIVERGE[VEC_SCHEMES[2].name] = SMOKE_HORIZON
+    result, cells = _batch_metrics(tmp_path)
+    assert result.peeled == 1
+    assert result.batched == 2
+    assert not result.failures
+    assert cells == scalar_reference
+
+
+def test_all_lanes_diverging_degrades_to_pure_scalar(tmp_path, scalar_reference):
+    for scheme in VEC_SCHEMES:
+        kernel._TEST_FORCE_DIVERGE[scheme.name] = 0.0
+    result, cells = _batch_metrics(tmp_path)
+    assert result.peeled == len(VEC_SCHEMES)
+    assert result.batched == 0
+    assert not result.failures
+    # Everything went through the ordinary pool: bit-identical to serial.
+    assert cells == scalar_reference
